@@ -1,0 +1,92 @@
+// Shared plumbing for the paper-reproduction benchmark binaries.
+//
+// Every bench accepts:
+//   --scale=<mult>    multiply each preset's default bench scale (default 1)
+//   --threads=<nc>    CPU worker threads (default 16, the paper's default)
+//   --gpus=<ng>       GPUs (default 1)
+//   --workers=<W>     GPU parallel workers (default 128)
+//   --epochs=<cap>    epoch budget (default per bench)
+//   --datasets=a,b    comma list (default: all four presets)
+//   --seed=<n>
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/hsgd.h"
+#include "util/cli.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace hsgd::bench {
+
+struct BenchContext {
+  CliFlags flags;
+  double scale_mult = 1.0;
+  int threads = 16;
+  int gpus = 1;
+  int workers = 128;
+  int max_epochs = 30;
+  uint64_t seed = 1;
+  std::vector<DatasetPreset> presets;
+};
+
+inline BenchContext ParseContext(int argc, char** argv,
+                                 int default_epochs = 30) {
+  BenchContext ctx;
+  HSGD_CHECK_OK(ctx.flags.Parse(argc, argv));
+  ctx.scale_mult = ctx.flags.GetDouble("scale", 1.0);
+  ctx.threads = static_cast<int>(ctx.flags.GetInt("threads", 16));
+  ctx.gpus = static_cast<int>(ctx.flags.GetInt("gpus", 1));
+  ctx.workers = static_cast<int>(ctx.flags.GetInt("workers", 128));
+  ctx.max_epochs =
+      static_cast<int>(ctx.flags.GetInt("epochs", default_epochs));
+  ctx.seed = static_cast<uint64_t>(ctx.flags.GetInt("seed", 1));
+  std::string list = ctx.flags.GetString("datasets", "");
+  if (list.empty()) {
+    ctx.presets.assign(std::begin(kAllPresets), std::end(kAllPresets));
+  } else {
+    for (const std::string& name : Split(list, ',')) {
+      auto preset = PresetByName(name);
+      HSGD_CHECK(preset.ok()) << "unknown dataset '" << name << "'";
+      ctx.presets.push_back(*preset);
+    }
+  }
+  return ctx;
+}
+
+/// \brief Generates the scaled synthetic stand-in for `preset`.
+inline Dataset MakeBenchDataset(DatasetPreset preset,
+                                const BenchContext& ctx) {
+  double scale = DefaultBenchScale(preset) * ctx.scale_mult;
+  SyntheticSpec spec = ScaledPresetSpec(preset, scale);
+  auto ds = GenerateSynthetic(spec, ctx.seed);
+  HSGD_CHECK_OK(ds.status());
+  return std::move(ds).value();
+}
+
+/// \brief Baseline TrainConfig matching the paper's experimental setup.
+inline TrainConfig MakeConfig(Algorithm algorithm, const BenchContext& ctx) {
+  TrainConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.hardware.num_cpu_threads = ctx.threads;
+  cfg.hardware.num_gpus = ctx.gpus;
+  cfg.hardware.gpu.parallel_workers = ctx.workers;
+  cfg.max_epochs = ctx.max_epochs;
+  cfg.seed = ctx.seed;
+  return cfg;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+/// \brief "1.234" or "never" for time-to-target columns.
+inline std::string FormatTime(SimTime t) {
+  if (t >= kSimTimeNever) return "never";
+  return StrFormat("%.3f", t);
+}
+
+}  // namespace hsgd::bench

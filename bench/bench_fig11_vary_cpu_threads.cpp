@@ -1,0 +1,56 @@
+// Fig. 11 — Running time to reach each dataset's target RMSE while varying
+// the CPU thread count nc in {4, 8, 12, 16} (W fixed at 128).
+//
+// Expected shape (paper): GPU-Only is flat; CPU-Only improves with nc;
+// HSGD* is fastest on every setting and also improves with nc.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hsgd;
+using namespace hsgd::bench;
+
+namespace {
+
+SimTime TimeToTarget(const Dataset& ds, TrainConfig cfg) {
+  cfg.use_dataset_target = true;
+  auto result = Trainer::Train(ds, cfg);
+  HSGD_CHECK_OK(result.status());
+  return result->stats.reached_target ? result->trace.TimeToReach(
+                                            ds.target_rmse)
+                                      : kSimTimeNever;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx = ParseContext(argc, argv, /*default_epochs=*/15);
+  const int kThreadGrid[] = {4, 8, 12, 16};
+
+  for (DatasetPreset preset : ctx.presets) {
+    Dataset ds = MakeBenchDataset(preset, ctx);
+    PrintHeader(StrFormat(
+        "Fig.11 (%s): time to RMSE<=%.3g vs CPU threads (W=%d)",
+        PresetName(preset), ds.target_rmse, ctx.workers));
+    std::printf("%-10s %12s %12s %12s\n", "nc", "CPU-Only(s)",
+                "GPU-Only(s)", "HSGD*(s)");
+
+    // GPU-Only does not depend on nc; run it once.
+    SimTime gpu_time =
+        TimeToTarget(ds, MakeConfig(Algorithm::kGpuOnly, ctx));
+    for (int nc : kThreadGrid) {
+      BenchContext tctx = ctx;
+      tctx.threads = nc;
+      SimTime cpu_time =
+          TimeToTarget(ds, MakeConfig(Algorithm::kCpuOnly, tctx));
+      SimTime star_time =
+          TimeToTarget(ds, MakeConfig(Algorithm::kHsgdStar, tctx));
+      std::printf("%-10d %12s %12s %12s\n", nc,
+                  FormatTime(cpu_time).c_str(),
+                  FormatTime(gpu_time).c_str(),
+                  FormatTime(star_time).c_str());
+    }
+  }
+  return 0;
+}

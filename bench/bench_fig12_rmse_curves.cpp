@@ -1,0 +1,40 @@
+// Fig. 12 — Test RMSE over (virtual) training time for CPU-Only, GPU-Only
+// and HSGD* on the four benchmark datasets.
+//
+// Expected shape (paper): all three converge to a similar loss value;
+// HSGD*'s curve drops fastest and reaches every loss level first.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hsgd;
+using namespace hsgd::bench;
+
+int main(int argc, char** argv) {
+  BenchContext ctx = ParseContext(argc, argv, /*default_epochs=*/25);
+
+  for (DatasetPreset preset : ctx.presets) {
+    Dataset ds = MakeBenchDataset(preset, ctx);
+    PrintHeader(StrFormat("Fig.12 (%s): test RMSE over time  [%d x %d, "
+                          "%lld train ratings, target %.3g]",
+                          PresetName(preset), ds.num_rows, ds.num_cols,
+                          static_cast<long long>(ds.train_size()),
+                          ds.target_rmse));
+    std::printf("%-10s %8s %12s %12s %12s\n", "algorithm", "epoch",
+                "time(s)", "test-RMSE", "train-RMSE");
+    for (Algorithm algorithm :
+         {Algorithm::kCpuOnly, Algorithm::kGpuOnly, Algorithm::kHsgdStar}) {
+      TrainConfig cfg = MakeConfig(algorithm, ctx);
+      cfg.use_dataset_target = false;  // run the full budget: full curves
+      auto result = Trainer::Train(ds, cfg);
+      HSGD_CHECK_OK(result.status());
+      for (const TracePoint& p : result->trace.points) {
+        std::printf("%-10s %8d %12.3f %12.4f %12.4f\n",
+                    AlgorithmName(algorithm), p.epoch, p.time, p.test_rmse,
+                    p.train_rmse);
+      }
+    }
+  }
+  return 0;
+}

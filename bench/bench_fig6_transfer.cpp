@@ -1,0 +1,30 @@
+// Fig. 6 — PCIe transfer speed vs data size, both directions.
+//
+// Expected shape: effective bandwidth ramps steeply from a few GB/s at 64KB
+// and saturates near the 12GB/s link peak in the tens of MB.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sim/pcie_link.h"
+
+using namespace hsgd;
+using namespace hsgd::bench;
+
+int main(int argc, char** argv) {
+  BenchContext ctx = ParseContext(argc, argv);
+  (void)ctx;
+  PcieLink link((GpuDeviceSpec()));
+
+  PrintHeader("Fig.6: PCIe transfer speed by data size");
+  std::printf("%-12s %20s %20s\n", "size", "CPU->GPU (GB/s)",
+              "GPU->CPU (GB/s)");
+  for (int64_t bytes = 64ll << 10; bytes <= (256ll << 20); bytes *= 2) {
+    std::printf(
+        "%-12s %20.2f %20.2f\n", HumanBytes(bytes).c_str(),
+        link.EffectiveBandwidthGbps(bytes, TransferDirection::kHostToDevice),
+        link.EffectiveBandwidthGbps(bytes,
+                                    TransferDirection::kDeviceToHost));
+  }
+  return 0;
+}

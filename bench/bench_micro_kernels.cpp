@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives: the SGD
+// inner loop, RMSE evaluation, simulator cost functions, and scheduler
+// acquire/release throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <optional>
+
+#include "core/hsgd.h"
+#include "sched/blocked_matrix.h"
+#include "sched/star_scheduler.h"
+#include "sched/uniform_scheduler.h"
+#include "sim/cpu_device.h"
+#include "sim/gpu_device.h"
+#include "util/thread_pool.h"
+
+namespace hsgd {
+namespace {
+
+Dataset MicroDataset(int64_t nnz, int32_t m = 20000, int32_t n = 8000) {
+  SyntheticSpec spec;
+  spec.num_rows = m;
+  spec.num_cols = n;
+  spec.train_nnz = nnz;
+  spec.test_nnz = 1000;
+  auto ds = GenerateSynthetic(spec, 7);
+  HSGD_CHECK_OK(ds.status());
+  return std::move(ds).value();
+}
+
+void BM_SgdUpdateBlock(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Dataset ds = MicroDataset(200000);
+  Model model(ds.num_rows, ds.num_cols, k);
+  Rng rng(1);
+  model.InitRandom(&rng, 3.0);
+  SgdHyper hyper{0.005f, 0.05f, 0.05f};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SgdUpdateBlock(&model, ds.train, hyper));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.train.size()));
+}
+BENCHMARK(BM_SgdUpdateBlock)->Arg(32)->Arg(128);
+
+void BM_SgdUpdateBlockHogwild(benchmark::State& state) {
+  Dataset ds = MicroDataset(500000);
+  Model model(ds.num_rows, ds.num_cols, 128);
+  Rng rng(1);
+  model.InitRandom(&rng, 3.0);
+  SgdHyper hyper{0.005f, 0.05f, 0.05f};
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SgdUpdateBlockHogwild(&model, ds.train, hyper, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.train.size()));
+}
+BENCHMARK(BM_SgdUpdateBlockHogwild)->Arg(4)->Arg(12);
+
+void BM_Rmse(benchmark::State& state) {
+  Dataset ds = MicroDataset(300000);
+  Model model(ds.num_rows, ds.num_cols, 128);
+  Rng rng(1);
+  model.InitRandom(&rng, 3.0);
+  ThreadPool pool(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Rmse(model, ds.train, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.train.size()));
+}
+BENCHMARK(BM_Rmse);
+
+void BM_GpuKernelModel(benchmark::State& state) {
+  SimtKernelModel model(GpuDeviceSpec(), 128);
+  int64_t nnz = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ExecTime(nnz, nnz / 10, nnz / 20));
+    nnz = nnz % 1000000 + 997;
+  }
+}
+BENCHMARK(BM_GpuKernelModel);
+
+void BM_PcieTransferModel(benchmark::State& state) {
+  PcieLink link((GpuDeviceSpec()));
+  int64_t bytes = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        link.TransferTime(bytes, TransferDirection::kHostToDevice));
+    bytes = bytes % (256 << 20) + 4093;
+  }
+}
+BENCHMARK(BM_PcieTransferModel);
+
+void BM_UniformSchedulerAcquireRelease(benchmark::State& state) {
+  Dataset ds = MicroDataset(300000);
+  auto grid =
+      BuildBalancedGrid(ds.train, ds.num_rows, ds.num_cols, 16, 17);
+  HSGD_CHECK_OK(grid.status());
+  Rng rng(3);
+  auto matrix = BlockedMatrix::Build(ds.train, *grid, &rng);
+  HSGD_CHECK_OK(matrix.status());
+  UniformScheduler scheduler(&*matrix, &*grid, {}, Rng(5));
+  WorkerInfo worker{DeviceClass::kCpuThread, 0, 0};
+  scheduler.BeginEpoch();
+  for (auto _ : state) {
+    std::optional<BlockTask> task = scheduler.Acquire(worker, 0.0);
+    if (task) {
+      scheduler.Release(worker, *task, 0.0);
+    } else {
+      state.PauseTiming();
+      scheduler.BeginEpoch();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_UniformSchedulerAcquireRelease);
+
+void BM_ProfilerBuildModel(benchmark::State& state) {
+  Dataset ds = MicroDataset(500000);
+  Profiler profiler(GpuDeviceSpec(), CpuDeviceSpec(), 128);
+  for (auto _ : state) {
+    auto model = profiler.BuildHsgdModel(ds);
+    HSGD_CHECK_OK(model.status());
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_ProfilerBuildModel);
+
+void BM_FullEpochHsgdStar(benchmark::State& state) {
+  Dataset ds = MicroDataset(500000);
+  ds.params.k = 32;
+  TrainConfig cfg;
+  cfg.algorithm = Algorithm::kHsgdStar;
+  cfg.max_epochs = 1;
+  cfg.use_dataset_target = false;
+  for (auto _ : state) {
+    auto result = Trainer::Train(ds, cfg);
+    HSGD_CHECK_OK(result.status());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.train_size());
+}
+BENCHMARK(BM_FullEpochHsgdStar)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hsgd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Table I — dataset statistics and parameter settings: the published
+// full-size shapes, plus the scaled synthetic instantiations every other
+// bench in this suite actually runs on.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hsgd;
+using namespace hsgd::bench;
+
+int main(int argc, char** argv) {
+  BenchContext ctx = ParseContext(argc, argv);
+
+  PrintHeader("Table I: published dataset statistics");
+  std::printf("%-14s %12s %12s %14s %12s %4s %7s %8s\n", "dataset", "m",
+              "n", "#Training", "#Test", "k", "lambda", "gamma");
+  for (DatasetPreset preset : kAllPresets) {
+    SyntheticSpec s = PresetSpec(preset);
+    std::printf("%-14s %12s %12s %14s %12s %4d %7.2f %8.4g\n",
+                PresetName(preset), WithThousandsSep(s.num_rows).c_str(),
+                WithThousandsSep(s.num_cols).c_str(),
+                WithThousandsSep(s.train_nnz).c_str(),
+                WithThousandsSep(s.test_nnz).c_str(), s.params.k,
+                s.params.lambda_p, s.params.learning_rate);
+  }
+
+  PrintHeader(StrFormat(
+      "Scaled synthetic stand-ins used by this suite (scale x%.3g)",
+      ctx.scale_mult));
+  std::printf("%-14s %10s %10s %12s %10s %10s %12s %12s\n", "dataset", "m",
+              "n", "#Training", "#Test", "mean r", "target", "scale");
+  for (DatasetPreset preset : kAllPresets) {
+    Dataset ds = MakeBenchDataset(preset, ctx);
+    RatingStats stats = ComputeStats(ds.train);
+    std::printf("%-14s %10s %10s %12s %10s %10.2f %12.3g %12.4g\n",
+                PresetName(preset), WithThousandsSep(ds.num_rows).c_str(),
+                WithThousandsSep(ds.num_cols).c_str(),
+                WithThousandsSep(ds.train_size()).c_str(),
+                WithThousandsSep(ds.test_size()).c_str(),
+                stats.mean_rating, ds.target_rmse,
+                DefaultBenchScale(preset) * ctx.scale_mult);
+  }
+  return 0;
+}

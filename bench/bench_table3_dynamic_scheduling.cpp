@@ -1,0 +1,55 @@
+// Table III — Effectiveness of dynamic scheduling: running time of a fixed
+// number of iterations for HSGD*-M (our cost model, no work stealing) vs
+// the full HSGD* (cost model + dynamic phase).
+//
+// Expected shape: HSGD* is faster on every dataset; the improvement is
+// smallest on MovieLens (the GPU is never saturated there, so stealing
+// helps least).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hsgd;
+using namespace hsgd::bench;
+
+int main(int argc, char** argv) {
+  BenchContext ctx = ParseContext(argc, argv, /*default_epochs=*/10);
+  int runs = static_cast<int>(ctx.flags.GetInt("runs", 3));
+
+  PrintHeader(StrFormat(
+      "Table III: dynamic scheduling (%d iterations, mean of %d runs "
+      "with device speed variability)",
+      ctx.max_epochs, runs));
+  std::printf("%-14s %16s %14s %12s %16s\n", "dataset", "HSGD*-M(s)",
+              "HSGD*(s)", "speedup", "stolen elems");
+
+  for (DatasetPreset preset : ctx.presets) {
+    Dataset ds = MakeBenchDataset(preset, ctx);
+    double times[2] = {0.0, 0.0};
+    int64_t stolen = 0;
+    // Average over seeds: each run draws different device-speed factors,
+    // standing in for the paper's run-to-run hardware variability.
+    for (int run = 0; run < runs; ++run) {
+      int i = 0;
+      for (bool dynamic : {false, true}) {
+        TrainConfig cfg = MakeConfig(Algorithm::kHsgdStar, ctx);
+        cfg.dynamic_scheduling = dynamic;
+        cfg.use_dataset_target = false;
+        cfg.seed = ctx.seed + static_cast<uint64_t>(run);
+        auto result = Trainer::Train(ds, cfg);
+        HSGD_CHECK_OK(result.status());
+        times[i++] += result->stats.sim_seconds / runs;
+        if (dynamic) {
+          stolen += (result->stats.stolen_by_gpus +
+                     result->stats.stolen_by_cpus) /
+                    runs;
+        }
+      }
+    }
+    std::printf("%-14s %16.3f %14.3f %11.2fx %16s\n", PresetName(preset),
+                times[0], times[1], times[0] / times[1],
+                WithThousandsSep(stolen).c_str());
+  }
+  return 0;
+}
