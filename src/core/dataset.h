@@ -1,0 +1,89 @@
+// Datasets: the four benchmark presets from the paper's Table I, synthetic
+// stand-in generation at any scale, and the hyper-parameters attached to
+// each dataset.
+//
+// The benches never load the real MovieLens/Netflix/Yahoo!Music/Hugewiki
+// dumps; they run on synthetic matrices with the same shape, density and
+// value range, scaled down by DefaultBenchScale() so a laptop finishes in
+// seconds. GenerateSynthetic plants a low-rank ground truth plus noise so
+// SGD has something real to learn and RMSE curves behave like the paper's.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace hsgd {
+
+/// SGD hyper-parameters bundled with a dataset (Table I's k/lambda/gamma).
+struct SgdParams {
+  int k = 128;                   // factorization rank
+  float learning_rate = 0.005f;  // gamma
+  float lambda_p = 0.05f;        // row-factor regularizer
+  float lambda_q = 0.05f;        // column-factor regularizer
+};
+
+struct SyntheticSpec {
+  int64_t num_rows = 0;
+  int64_t num_cols = 0;
+  int64_t train_nnz = 0;
+  int64_t test_nnz = 0;
+  SgdParams params;
+  double rating_min = 1.0;
+  double rating_max = 5.0;
+  double noise_stddev = 0.4;  // irreducible noise around the planted truth
+  int truth_rank = 8;         // rank of the planted ground-truth factors
+  double target_rmse = 0.0;   // 0 => derived from noise_stddev
+};
+
+struct Dataset {
+  Ratings train;
+  Ratings test;
+  int32_t num_rows = 0;
+  int32_t num_cols = 0;
+  double target_rmse = 0.0;
+  SgdParams params;
+
+  int64_t train_size() const { return static_cast<int64_t>(train.size()); }
+  int64_t test_size() const { return static_cast<int64_t>(test.size()); }
+};
+
+/// The four benchmark datasets (Table I ordering: small to large).
+enum class DatasetPreset {
+  kMovieLens = 0,
+  kNetflix = 1,
+  kYahooMusic = 2,
+  kHugewiki = 3,
+};
+
+inline constexpr DatasetPreset kAllPresets[] = {
+    DatasetPreset::kMovieLens,
+    DatasetPreset::kNetflix,
+    DatasetPreset::kYahooMusic,
+    DatasetPreset::kHugewiki,
+};
+
+const char* PresetName(DatasetPreset preset);
+StatusOr<DatasetPreset> PresetByName(const std::string& name);
+
+/// Full published shape (rows/cols/nnz of the real dataset).
+SyntheticSpec PresetSpec(DatasetPreset preset);
+
+/// Per-preset shrink factor giving each synthetic stand-in a comparable,
+/// laptop-sized nnz at --scale=1.
+double DefaultBenchScale(DatasetPreset preset);
+
+/// PresetSpec scaled to `scale` of the published nnz. Dimensions shrink by
+/// sqrt(scale) (preserving block density) and are clamped so rows and
+/// columns keep enough ratings each to be learnable.
+SyntheticSpec ScaledPresetSpec(DatasetPreset preset, double scale);
+
+/// Plants rank-`truth_rank` factors, samples train/test entries, adds
+/// Gaussian noise, clamps to the rating range. Deterministic per seed.
+StatusOr<Dataset> GenerateSynthetic(const SyntheticSpec& spec,
+                                    uint64_t seed);
+
+}  // namespace hsgd

@@ -1,0 +1,26 @@
+// Umbrella header for the hsgd library: datasets, the factor model and
+// real SGD/RMSE kernels, the device simulators, the block schedulers, and
+// the Trainer that ties them together. The bench drivers include this
+// (plus individual sim/sched headers when they poke at internals).
+//
+// Layering:
+//   util/  - status, logging, strings, cli, rng, stopwatch, thread pool
+//   core/  - datasets, model, SGD kernels, trainer (this directory)
+//   sim/   - simulated CPU/GPU devices, PCIe link, profiler + cost models
+//   sched/ - grid division, blocked matrix, uniform & star schedulers
+
+#pragma once
+
+#include "core/dataset.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "core/types.h"
+#include "sched/blocked_matrix.h"
+#include "sched/scheduler.h"
+#include "sim/device_spec.h"
+#include "sim/profiler.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"

@@ -1,0 +1,119 @@
+#include "core/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsgd {
+
+Model::Model(int32_t num_rows, int32_t num_cols, int k)
+    : num_rows_(num_rows),
+      num_cols_(num_cols),
+      k_(k),
+      p_(static_cast<size_t>(num_rows) * k, 0.0f),
+      q_(static_cast<size_t>(num_cols) * k, 0.0f) {}
+
+void Model::InitRandom(Rng* rng, double mean_rating) {
+  if (mean_rating < 0.0) mean_rating = 0.0;
+  const float hi =
+      2.0f * std::sqrt(static_cast<float>(mean_rating) / k_);
+  for (float& x : p_) x = rng->NextFloat() * hi;
+  for (float& x : q_) x = rng->NextFloat() * hi;
+}
+
+float Model::Predict(int32_t u, int32_t v) const {
+  const float* p = Row(u);
+  const float* q = Col(v);
+  float acc = 0.0f;
+  for (int i = 0; i < k_; ++i) acc += p[i] * q[i];
+  return acc;
+}
+
+namespace {
+
+/// The inner update shared by the sequential and Hogwild kernels.
+/// Returns the squared pre-update error.
+inline double UpdateOne(float* __restrict p, float* __restrict q, int k,
+                        float r, SgdHyper hyper) {
+  float dot = 0.0f;
+  for (int i = 0; i < k; ++i) dot += p[i] * q[i];
+  const float err = r - dot;
+  const float lr = hyper.learning_rate;
+  const float lp = hyper.lambda_p;
+  const float lq = hyper.lambda_q;
+  for (int i = 0; i < k; ++i) {
+    const float pi = p[i];
+    const float qi = q[i];
+    p[i] = pi + lr * (err * qi - lp * pi);
+    q[i] = qi + lr * (err * pi - lq * qi);
+  }
+  return static_cast<double>(err) * err;
+}
+
+}  // namespace
+
+double SgdUpdateBlock(Model* model, const Ratings& block, SgdHyper hyper) {
+  const int k = model->k();
+  double sq_err = 0.0;
+  for (const Rating& rt : block) {
+    sq_err += UpdateOne(model->Row(rt.u), model->Col(rt.v), k, rt.r, hyper);
+  }
+  return sq_err;
+}
+
+double SgdUpdateBlockHogwild(Model* model, const Ratings& block,
+                             SgdHyper hyper, ThreadPool* pool) {
+  if (pool == nullptr || pool->size() == 0) {
+    return SgdUpdateBlock(model, block, hyper);
+  }
+  const int k = model->k();
+  const int64_t n = static_cast<int64_t>(block.size());
+  const int64_t grain = 8192;
+  const int64_t num_chunks = (n + grain - 1) / grain;
+  std::vector<double> partial(static_cast<size_t>(num_chunks), 0.0);
+  pool->ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      const Rating& rt = block[static_cast<size_t>(i)];
+      acc += UpdateOne(model->Row(rt.u), model->Col(rt.v), k, rt.r, hyper);
+    }
+    partial[static_cast<size_t>(lo / grain)] = acc;
+  });
+  double sq_err = 0.0;
+  for (double x : partial) sq_err += x;
+  return sq_err;
+}
+
+double Rmse(const Model& model, const Ratings& ratings, ThreadPool* pool) {
+  const int64_t n = static_cast<int64_t>(ratings.size());
+  if (n == 0) return 0.0;
+  const int k = model.k();
+  const int64_t grain = 65536;
+  const int64_t num_chunks = (n + grain - 1) / grain;
+  std::vector<double> partial(static_cast<size_t>(num_chunks), 0.0);
+  auto eval_chunk = [&](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      const Rating& rt = ratings[static_cast<size_t>(i)];
+      const float* p = model.Row(rt.u);
+      const float* q = model.Col(rt.v);
+      float dot = 0.0f;
+      for (int j = 0; j < k; ++j) dot += p[j] * q[j];
+      const double err = static_cast<double>(rt.r) - dot;
+      acc += err * err;
+    }
+    partial[static_cast<size_t>(lo / grain)] = acc;
+  };
+  if (pool != nullptr && pool->size() > 0) {
+    pool->ParallelFor(0, n, grain, eval_chunk);
+  } else {
+    for (int64_t lo = 0; lo < n; lo += grain) {
+      eval_chunk(lo, std::min(lo + grain, n));
+    }
+  }
+  // Fixed-order reduction => identical result for any pool size.
+  double sq_err = 0.0;
+  for (double x : partial) sq_err += x;
+  return std::sqrt(sq_err / static_cast<double>(n));
+}
+
+}  // namespace hsgd

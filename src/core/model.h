@@ -1,0 +1,70 @@
+// Factor model P (rows x k) and Q (cols x k) plus the real SGD and RMSE
+// kernels. These are genuine compute kernels — the simulator decides *when*
+// a block runs and how long it takes in virtual time, but the arithmetic
+// applied to the factors is the real thing, so loss curves are honest.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace hsgd {
+
+class Model {
+ public:
+  Model(int32_t num_rows, int32_t num_cols, int k);
+
+  /// Initialize entries uniform in [0, 2*sqrt(mean_rating/k)) so the
+  /// initial prediction is centered on the mean rating.
+  void InitRandom(Rng* rng, double mean_rating);
+
+  int32_t num_rows() const { return num_rows_; }
+  int32_t num_cols() const { return num_cols_; }
+  int k() const { return k_; }
+
+  float* Row(int32_t u) { return &p_[static_cast<size_t>(u) * k_]; }
+  const float* Row(int32_t u) const {
+    return &p_[static_cast<size_t>(u) * k_];
+  }
+  float* Col(int32_t v) { return &q_[static_cast<size_t>(v) * k_]; }
+  const float* Col(int32_t v) const {
+    return &q_[static_cast<size_t>(v) * k_];
+  }
+
+  float Predict(int32_t u, int32_t v) const;
+
+ private:
+  int32_t num_rows_;
+  int32_t num_cols_;
+  int k_;
+  std::vector<float> p_;
+  std::vector<float> q_;
+};
+
+struct SgdHyper {
+  float learning_rate = 0.005f;
+  float lambda_p = 0.05f;
+  float lambda_q = 0.05f;
+};
+
+/// One sequential SGD sweep over `block`; returns the pre-update sum of
+/// squared errors (free by-product of the updates).
+double SgdUpdateBlock(Model* model, const Ratings& block, SgdHyper hyper);
+
+/// Lock-free parallel sweep in Hogwild style: threads race on shared
+/// factors, which is statistically fine for sparse blocks. Not
+/// bit-reproducible across pool sizes — the simulator uses the sequential
+/// kernel where determinism matters.
+double SgdUpdateBlockHogwild(Model* model, const Ratings& block,
+                             SgdHyper hyper, ThreadPool* pool);
+
+/// Root mean squared prediction error over `ratings`. Deterministic for a
+/// given input regardless of pool size (fixed-grain chunking, in-order
+/// reduction). `pool` may be null for serial evaluation.
+double Rmse(const Model& model, const Ratings& ratings, ThreadPool* pool);
+
+}  // namespace hsgd

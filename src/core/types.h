@@ -1,0 +1,47 @@
+// Fundamental value types shared by every layer: simulated time, ratings,
+// and small statistics over rating sets.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hsgd {
+
+/// Virtual seconds on the simulator clock (not wall time).
+using SimTime = double;
+
+/// Sentinel for "a target was never reached" (compare with >=).
+inline constexpr SimTime kSimTimeNever = 1e30;
+
+/// One observed matrix entry: row `u` (user), column `v` (item), value `r`.
+struct Rating {
+  int32_t u = 0;
+  int32_t v = 0;
+  float r = 0.0f;
+};
+
+using Ratings = std::vector<Rating>;
+
+/// Fisher-Yates shuffle with the library Rng (deterministic per seed).
+inline void ShuffleRatings(Ratings* ratings, Rng* rng) {
+  for (size_t i = ratings->size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng->UniformInt(static_cast<int64_t>(i)));
+    Rating tmp = (*ratings)[i - 1];
+    (*ratings)[i - 1] = (*ratings)[j];
+    (*ratings)[j] = tmp;
+  }
+}
+
+struct RatingStats {
+  double mean_rating = 0.0;
+  double stddev = 0.0;
+  double min_rating = 0.0;
+  double max_rating = 0.0;
+};
+
+RatingStats ComputeStats(const Ratings& ratings);
+
+}  // namespace hsgd

@@ -1,0 +1,189 @@
+#include "sched/blocked_matrix.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/strings.h"
+
+namespace hsgd {
+
+namespace {
+
+/// Cuts [0, dim) into bounds so that segment i ends where the cumulative
+/// histogram mass first reaches cum_targets[i]. Bounds are forced strictly
+/// increasing and to leave room for the remaining segments, so the result
+/// is always a partition into non-empty index ranges. Works off an
+/// explicit prefix-sum so a clamped cut never desynchronizes the mass
+/// accounting for later segments.
+std::vector<int32_t> CutByMass(const std::vector<int64_t>& histogram,
+                               const std::vector<double>& cum_targets) {
+  const int32_t dim = static_cast<int32_t>(histogram.size());
+  const int segments = static_cast<int>(cum_targets.size());
+  std::vector<int64_t> prefix(static_cast<size_t>(dim) + 1, 0);
+  for (int32_t i = 0; i < dim; ++i) {
+    prefix[static_cast<size_t>(i) + 1] =
+        prefix[static_cast<size_t>(i)] + histogram[static_cast<size_t>(i)];
+  }
+  std::vector<int32_t> bounds;
+  bounds.reserve(segments + 1);
+  bounds.push_back(0);
+  for (int s = 0; s < segments - 1; ++s) {
+    const double target = cum_targets[s];
+    // Smallest cut whose prefix mass reaches the target.
+    auto it = std::lower_bound(prefix.begin(), prefix.end(), target,
+                               [](int64_t mass, double t) {
+                                 return static_cast<double>(mass) < t;
+                               });
+    int32_t cut = static_cast<int32_t>(it - prefix.begin());
+    cut = std::max(cut, bounds.back() + 1);
+    // Leave at least one index for each remaining segment.
+    cut = std::min(cut, dim - static_cast<int32_t>(segments - 1 - s));
+    bounds.push_back(cut);
+  }
+  bounds.push_back(dim);
+  return bounds;
+}
+
+Status ValidateGridArgs(const Ratings& ratings, int64_t num_rows,
+                        int64_t num_cols, int p, int q) {
+  if (num_rows <= 0 || num_cols <= 0) {
+    return Status::InvalidArgument("grid needs positive matrix dims");
+  }
+  if (p < 1 || q < 1) {
+    return Status::InvalidArgument(
+        StrFormat("grid needs at least 1x1 strata, got %dx%d", p, q));
+  }
+  if (p > num_rows || q > num_cols) {
+    return Status::InvalidArgument(
+        StrFormat("grid %dx%d exceeds matrix dims %lldx%lld", p, q,
+                  static_cast<long long>(num_rows),
+                  static_cast<long long>(num_cols)));
+  }
+  for (const Rating& rt : ratings) {
+    if (rt.u < 0 || rt.u >= num_rows || rt.v < 0 || rt.v >= num_cols) {
+      return Status::InvalidArgument(
+          StrFormat("rating (%d, %d) outside matrix %lldx%lld", rt.u, rt.v,
+                    static_cast<long long>(num_rows),
+                    static_cast<long long>(num_cols)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+int Grid::RowOf(int32_t u) const {
+  auto it = std::upper_bound(row_bounds.begin(), row_bounds.end(), u);
+  return static_cast<int>(it - row_bounds.begin()) - 1;
+}
+
+int Grid::ColOf(int32_t v) const {
+  auto it = std::upper_bound(col_bounds.begin(), col_bounds.end(), v);
+  return static_cast<int>(it - col_bounds.begin()) - 1;
+}
+
+StatusOr<Grid> BuildBalancedGrid(const Ratings& ratings, int64_t num_rows,
+                                 int64_t num_cols, int p, int q) {
+  std::vector<double> row_shares(p, 1.0 / p);
+  std::vector<double> col_shares(q, 1.0 / q);
+  HSGD_RETURN_IF_ERROR(ValidateGridArgs(ratings, num_rows, num_cols, p, q));
+
+  std::vector<int64_t> row_hist(static_cast<size_t>(num_rows), 0);
+  std::vector<int64_t> col_hist(static_cast<size_t>(num_cols), 0);
+  for (const Rating& rt : ratings) {
+    ++row_hist[static_cast<size_t>(rt.u)];
+    ++col_hist[static_cast<size_t>(rt.v)];
+  }
+  const double total = static_cast<double>(ratings.size());
+
+  auto cum_targets = [&](const std::vector<double>& shares) {
+    std::vector<double> cum(shares.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < shares.size(); ++i) {
+      acc += shares[i];
+      cum[i] = acc * total;
+    }
+    return cum;
+  };
+
+  Grid grid;
+  grid.row_bounds = CutByMass(row_hist, cum_targets(row_shares));
+  grid.col_bounds = CutByMass(col_hist, cum_targets(col_shares));
+  return grid;
+}
+
+StatusOr<Grid> BuildGridWithColShares(
+    const Ratings& ratings, int64_t num_rows, int64_t num_cols, int p,
+    const std::vector<double>& col_shares) {
+  const int q = static_cast<int>(col_shares.size());
+  HSGD_RETURN_IF_ERROR(ValidateGridArgs(ratings, num_rows, num_cols, p, q));
+  double share_sum = 0.0;
+  for (double s : col_shares) {
+    if (s <= 0.0) {
+      return Status::InvalidArgument("column shares must be positive");
+    }
+    share_sum += s;
+  }
+
+  std::vector<int64_t> row_hist(static_cast<size_t>(num_rows), 0);
+  std::vector<int64_t> col_hist(static_cast<size_t>(num_cols), 0);
+  for (const Rating& rt : ratings) {
+    ++row_hist[static_cast<size_t>(rt.u)];
+    ++col_hist[static_cast<size_t>(rt.v)];
+  }
+  const double total = static_cast<double>(ratings.size());
+
+  std::vector<double> row_cum(p);
+  for (int i = 0; i < p; ++i) row_cum[i] = total * (i + 1) / p;
+  std::vector<double> col_cum(q);
+  double acc = 0.0;
+  for (int i = 0; i < q; ++i) {
+    acc += col_shares[i] / share_sum;
+    col_cum[i] = acc * total;
+  }
+
+  Grid grid;
+  grid.row_bounds = CutByMass(row_hist, row_cum);
+  grid.col_bounds = CutByMass(col_hist, col_cum);
+  return grid;
+}
+
+StatusOr<BlockedMatrix> BlockedMatrix::Build(const Ratings& ratings,
+                                             const Grid& grid, Rng* rng) {
+  if (grid.num_row_strata() < 1 || grid.num_col_strata() < 1) {
+    return Status::InvalidArgument("grid has no strata");
+  }
+  BlockedMatrix bm;
+  bm.grid_ = grid;
+  bm.blocks_.assign(static_cast<size_t>(grid.num_blocks()), Ratings());
+
+  // Counting pass sizes each bucket exactly (millions of ratings; avoids
+  // vector regrowth churn).
+  std::vector<int64_t> counts(bm.blocks_.size(), 0);
+  const int32_t max_row = grid.row_bounds.back();
+  const int32_t max_col = grid.col_bounds.back();
+  for (const Rating& rt : ratings) {
+    if (rt.u < 0 || rt.u >= max_row || rt.v < 0 || rt.v >= max_col) {
+      return Status::InvalidArgument(
+          StrFormat("rating (%d, %d) outside grid extent %dx%d", rt.u,
+                    rt.v, max_row, max_col));
+    }
+    ++counts[static_cast<size_t>(
+        grid.BlockIndex(grid.RowOf(rt.u), grid.ColOf(rt.v)))];
+  }
+  for (size_t b = 0; b < bm.blocks_.size(); ++b) {
+    bm.blocks_[b].reserve(static_cast<size_t>(counts[b]));
+  }
+  for (const Rating& rt : ratings) {
+    bm.blocks_[static_cast<size_t>(grid.BlockIndex(
+                   grid.RowOf(rt.u), grid.ColOf(rt.v)))]
+        .push_back(rt);
+  }
+  if (rng != nullptr) {
+    for (Ratings& block : bm.blocks_) ShuffleRatings(&block, rng);
+  }
+  bm.total_nnz_ = static_cast<int64_t>(ratings.size());
+  return bm;
+}
+
+}  // namespace hsgd

@@ -1,0 +1,77 @@
+#include "sched/scheduler.h"
+
+#include "util/logging.h"
+
+namespace hsgd {
+
+Scheduler::Scheduler(const BlockedMatrix* matrix, const Grid* grid)
+    : matrix_(matrix), grid_(grid) {
+  HSGD_CHECK(matrix != nullptr && grid != nullptr);
+  row_busy_.assign(static_cast<size_t>(grid->num_row_strata()), 0);
+  col_busy_.assign(static_cast<size_t>(grid->num_col_strata()), 0);
+  col_owner_.assign(static_cast<size_t>(grid->num_col_strata()), -1);
+  done_.assign(static_cast<size_t>(grid->num_blocks()), 0);
+}
+
+void Scheduler::BeginEpoch() {
+  HSGD_CHECK(in_flight_ == 0) << "BeginEpoch with tasks still in flight";
+  remaining_ = 0;
+  for (int b = 0; b < matrix_->num_blocks(); ++b) {
+    if (matrix_->BlockNnz(b) > 0) {
+      done_[static_cast<size_t>(b)] = 0;
+      ++remaining_;
+    } else {
+      done_[static_cast<size_t>(b)] = 1;  // nothing to do in empty blocks
+    }
+  }
+}
+
+bool Scheduler::BlockRunnable(int row, int col) const {
+  if (row_busy_[static_cast<size_t>(row)] != 0 ||
+      col_busy_[static_cast<size_t>(col)] != 0) {
+    return false;
+  }
+  return !done_[static_cast<size_t>(grid_->BlockIndex(row, col))];
+}
+
+BlockTask Scheduler::TakeBlock(const WorkerInfo& worker, int row, int col,
+                               bool stolen) {
+  BlockTask task;
+  task.row = row;
+  task.col = col;
+  task.block = grid_->BlockIndex(row, col);
+  task.nnz = matrix_->BlockNnz(task.block);
+  task.stolen = stolen;
+  ++row_busy_[static_cast<size_t>(row)];
+  ++col_busy_[static_cast<size_t>(col)];
+  col_owner_[static_cast<size_t>(col)] = worker.worker_index;
+  done_[static_cast<size_t>(task.block)] = 1;
+  --remaining_;
+  ++in_flight_;
+  if (stolen) {
+    if (worker.device_class == DeviceClass::kGpu) {
+      stolen_by_gpus_ += task.nnz;
+    } else {
+      stolen_by_cpus_ += task.nnz;
+    }
+  }
+  return task;
+}
+
+void Scheduler::Release(const WorkerInfo& worker, const BlockTask& task,
+                        SimTime now) {
+  (void)worker;
+  (void)now;
+  HSGD_CHECK(task.row >= 0 && task.col >= 0);
+  HSGD_CHECK(row_busy_[static_cast<size_t>(task.row)] > 0 &&
+             col_busy_[static_cast<size_t>(task.col)] > 0)
+      << "Release of a task whose strata are not locked";
+  --row_busy_[static_cast<size_t>(task.row)];
+  --col_busy_[static_cast<size_t>(task.col)];
+  if (col_busy_[static_cast<size_t>(task.col)] == 0) {
+    col_owner_[static_cast<size_t>(task.col)] = -1;
+  }
+  --in_flight_;
+}
+
+}  // namespace hsgd

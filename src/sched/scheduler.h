@@ -1,0 +1,90 @@
+// Scheduler vocabulary and the shared stratum-locking core.
+//
+// Safety contract (the DSGD exclusivity invariant): between Acquire and
+// Release, a task owns its row stratum and its column stratum; the
+// scheduler never hands a *different* worker a task sharing either, so
+// concurrent blocks touch disjoint model factors and SGD needs no factor
+// locks. The one sanctioned overlap: a worker may hold two blocks of its
+// own column stripe (StarScheduler's GPU pipelining — the device keeps
+// the stripe's column factors resident and serializes its kernels, so
+// the overlap never races on factors).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sched/blocked_matrix.h"
+#include "util/rng.h"
+
+namespace hsgd {
+
+enum class DeviceClass { kCpuThread = 0, kGpu = 1 };
+
+struct WorkerInfo {
+  DeviceClass device_class = DeviceClass::kCpuThread;
+  /// Index of the device within its class (CPU thread id / GPU id).
+  int device_index = 0;
+  /// Global worker id assigned by the trainer.
+  int worker_index = 0;
+};
+
+struct BlockTask {
+  int block = -1;
+  int row = -1;
+  int col = -1;
+  int64_t nnz = 0;
+  /// True when the block came from another device class's region
+  /// (HSGD*'s dynamic phase).
+  bool stolen = false;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Reset per-epoch state: every non-empty block becomes pending again.
+  /// Outstanding (unreleased) tasks must not span epochs.
+  virtual void BeginEpoch();
+
+  /// Hand `worker` a runnable block at simulated time `now`, or nullopt
+  /// when nothing is available (epoch drained, or every candidate's
+  /// stratum is momentarily locked — retry after the next Release).
+  virtual std::optional<BlockTask> Acquire(const WorkerInfo& worker,
+                                           SimTime now) = 0;
+
+  /// Return the task's strata to the pool and mark the block done.
+  virtual void Release(const WorkerInfo& worker, const BlockTask& task,
+                       SimTime now);
+
+  /// True once every non-empty block was processed and released.
+  bool EpochDone() const { return remaining_ == 0 && in_flight_ == 0; }
+
+  int num_blocks() const { return matrix_->num_blocks(); }
+  int64_t stolen_by_gpus() const { return stolen_by_gpus_; }
+  int64_t stolen_by_cpus() const { return stolen_by_cpus_; }
+
+ protected:
+  Scheduler(const BlockedMatrix* matrix, const Grid* grid);
+
+  bool BlockRunnable(int row, int col) const;
+  /// Locks strata, flags `stolen` bookkeeping; returns the filled task.
+  BlockTask TakeBlock(const WorkerInfo& worker, int row, int col,
+                      bool stolen);
+
+  const BlockedMatrix* matrix_;
+  const Grid* grid_;
+  /// Hold counts per stratum (a column can be held twice, but only by
+  /// the same worker — see col_owner_).
+  std::vector<int> row_busy_;
+  std::vector<int> col_busy_;
+  /// worker_index currently holding each busy column stratum.
+  std::vector<int> col_owner_;
+  std::vector<char> done_;
+  int remaining_ = 0;
+  int in_flight_ = 0;
+  int64_t stolen_by_gpus_ = 0;
+  int64_t stolen_by_cpus_ = 0;
+};
+
+}  // namespace hsgd

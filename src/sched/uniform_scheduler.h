@@ -1,0 +1,30 @@
+// Uniform-division scheduler: HSGD's baseline policy (and the executor
+// for CPU-Only / GPU-Only). Every worker — the GPU is just one more
+// worker — draws a random runnable block from the shared p x q grid.
+
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace hsgd {
+
+struct UniformSchedulerOptions {
+  /// Pick uniformly among runnable blocks (true, HSGD's policy) or take
+  /// the first runnable block in scan order (false, deterministic probes).
+  bool random_pick = true;
+};
+
+class UniformScheduler : public Scheduler {
+ public:
+  UniformScheduler(const BlockedMatrix* matrix, const Grid* grid,
+                   UniformSchedulerOptions options, Rng rng);
+
+  std::optional<BlockTask> Acquire(const WorkerInfo& worker,
+                                   SimTime now) override;
+
+ private:
+  UniformSchedulerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace hsgd

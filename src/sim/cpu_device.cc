@@ -1,0 +1,21 @@
+#include "sim/cpu_device.h"
+
+namespace hsgd {
+
+CpuDevice::CpuDevice(const CpuDeviceSpec& spec, int k) : spec_(spec) {
+  if (k <= 0) k = 1;
+  steady_rate_ = spec.updates_per_sec_k128 * (128.0 / k) * spec.speed_factor;
+}
+
+double CpuDevice::UpdateRate(int64_t nnz) const {
+  if (nnz <= 0) return steady_rate_;
+  double n = static_cast<double>(nnz);
+  return steady_rate_ * n / (n + spec_.warmup_nnz);
+}
+
+SimTime CpuDevice::UpdateTime(int64_t nnz) const {
+  if (nnz <= 0) return 0.0;
+  return static_cast<double>(nnz) / UpdateRate(nnz);
+}
+
+}  // namespace hsgd

@@ -1,0 +1,88 @@
+// Simulated GPU (Observation 1, Fig. 3a/7): a SIMT kernel-time model whose
+// throughput saturates with block size, and a three-stage device pipeline
+// (H2D copy -> kernel -> D2H copy) whose stages overlap across consecutive
+// blocks when `pipelined` — the overlap the paper's Eq. 9 cost model
+// (max of transfer and kernel streams) captures.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "sim/device_spec.h"
+#include "sim/pcie_link.h"
+
+namespace hsgd {
+
+/// Kernel-only execution time: launch overhead + ceil(nnz/W) serial
+/// iterations per worker + factor traffic from device memory. Throughput
+/// nnz/ExecTime rises steeply while the W workers are underfilled and
+/// flattens at W * worker_rate.
+class SimtKernelModel {
+ public:
+  SimtKernelModel(const GpuDeviceSpec& spec, int k);
+
+  SimTime ExecTime(int64_t nnz, int64_t rows, int64_t cols) const;
+
+  /// Saturated points/second (the Fig. 3a plateau).
+  double PeakRate() const { return peak_rate_; }
+
+ private:
+  GpuDeviceSpec spec_;
+  int k_;
+  double point_time_;  // seconds per point per worker at this k
+  double peak_rate_;
+};
+
+/// One block's work as seen by the GPU: `rows`/`cols` are the number of
+/// distinct row/column factors that must travel with it. Callers set
+/// rows or cols to 0 for factors already resident in device memory (e.g.
+/// the column stripe a GPU owns across a whole epoch under HSGD*).
+struct GpuWorkItem {
+  int64_t nnz = 0;
+  int64_t rows = 0;
+  int64_t cols = 0;
+};
+
+struct PipelineTiming {
+  SimTime h2d_start = 0.0;
+  SimTime h2d_done = 0.0;
+  SimTime kernel_start = 0.0;
+  SimTime kernel_done = 0.0;
+  SimTime d2h_start = 0.0;
+  SimTime d2h_done = 0.0;
+};
+
+class GpuDevice {
+ public:
+  GpuDevice(const GpuDeviceSpec& spec, int k, bool pipelined = true);
+
+  /// Run one block through the copy/kernel/copy pipeline, starting no
+  /// earlier than `ready`. Returns the stage timestamps; the block's
+  /// updated factors are back on the host at d2h_done.
+  PipelineTiming Process(SimTime ready, const GpuWorkItem& item);
+
+  /// Charge a bare H2D transfer (e.g. uploading a resident column stripe
+  /// at epoch start); returns its completion time.
+  SimTime Upload(SimTime ready, int64_t bytes);
+
+  const SimtKernelModel& kernel_model() const { return kernel_; }
+  const PcieLink& link() const { return link_; }
+  int k() const { return k_; }
+
+  /// Host<->device bytes for a rating triple / one factor vector.
+  static int64_t RatingBytes() { return 12; }
+  int64_t FactorBytes() const { return static_cast<int64_t>(k_) * 4; }
+
+ private:
+  GpuDeviceSpec spec_;
+  int k_;
+  bool pipelined_;
+  SimtKernelModel kernel_;
+  PcieLink link_;
+  SimTime h2d_free_ = 0.0;
+  SimTime kernel_free_ = 0.0;
+  SimTime d2h_free_ = 0.0;
+};
+
+}  // namespace hsgd

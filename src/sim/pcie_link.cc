@@ -1,0 +1,23 @@
+#include "sim/pcie_link.h"
+
+namespace hsgd {
+
+PcieLink::PcieLink(const GpuDeviceSpec& spec)
+    : h2d_bytes_per_sec_(spec.pcie_h2d_peak_gbps * 1e9),
+      d2h_bytes_per_sec_(spec.pcie_d2h_peak_gbps * 1e9),
+      latency_(spec.pcie_latency) {}
+
+SimTime PcieLink::TransferTime(int64_t bytes, TransferDirection dir) const {
+  if (bytes <= 0) return 0.0;
+  double bw = dir == TransferDirection::kHostToDevice ? h2d_bytes_per_sec_
+                                                      : d2h_bytes_per_sec_;
+  return latency_ + static_cast<double>(bytes) / bw;
+}
+
+double PcieLink::EffectiveBandwidthGbps(int64_t bytes,
+                                        TransferDirection dir) const {
+  if (bytes <= 0) return 0.0;
+  return static_cast<double>(bytes) / TransferTime(bytes, dir) / 1e9;
+}
+
+}  // namespace hsgd

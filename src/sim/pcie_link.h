@@ -1,0 +1,32 @@
+// PCIe transfer-time model (Fig. 6): a fixed per-transfer latency plus a
+// bandwidth term, which yields the measured ramp — a few GB/s effective at
+// 64KB, saturating at the link peak in the tens of MB.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "sim/device_spec.h"
+
+namespace hsgd {
+
+enum class TransferDirection { kHostToDevice, kDeviceToHost };
+
+class PcieLink {
+ public:
+  explicit PcieLink(const GpuDeviceSpec& spec);
+
+  /// Seconds to move `bytes` in `dir`; zero bytes cost nothing.
+  SimTime TransferTime(int64_t bytes, TransferDirection dir) const;
+
+  /// bytes / TransferTime, in GB/s — what Fig. 6 plots.
+  double EffectiveBandwidthGbps(int64_t bytes, TransferDirection dir) const;
+
+ private:
+  double h2d_bytes_per_sec_;
+  double d2h_bytes_per_sec_;
+  double latency_;
+};
+
+}  // namespace hsgd

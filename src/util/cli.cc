@@ -1,0 +1,86 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace hsgd {
+
+Status CliFlags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.size() < 2 || arg[0] != '-') {
+      return Status::InvalidArgument("unexpected positional argument '" +
+                                     arg + "'");
+    }
+    size_t name_start = (arg.size() > 2 && arg[1] == '-') ? 2 : 1;
+    std::string body = arg.substr(name_start);
+    if (body.empty()) {
+      return Status::InvalidArgument("empty flag name in '" + arg + "'");
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      std::string name = body.substr(0, eq);
+      if (name.empty()) {
+        return Status::InvalidArgument("empty flag name in '" + arg + "'");
+      }
+      values_[name] = body.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";  // bare boolean flag
+    }
+  }
+  return Status::Ok();
+}
+
+bool CliFlags::Has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliFlags::GetString(const std::string& name,
+                                const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t CliFlags::GetInt(const std::string& name,
+                         int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || (end && *end != '\0')) {
+    HSGD_LOG(Warning) << "flag --" << name << "=" << it->second
+                      << " is not an integer; using default "
+                      << default_value;
+    return default_value;
+  }
+  return static_cast<int64_t>(v);
+}
+
+double CliFlags::GetDouble(const std::string& name,
+                           double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || (end && *end != '\0')) {
+    HSGD_LOG(Warning) << "flag --" << name << "=" << it->second
+                      << " is not a number; using default " << default_value;
+    return default_value;
+  }
+  return v;
+}
+
+bool CliFlags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  std::string v = AsciiLower(it->second);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return default_value;
+}
+
+}  // namespace hsgd

@@ -1,0 +1,32 @@
+// Tiny --flag=value command line parser.
+//
+// Accepted forms: --name=value, --name value, --name (boolean true), and
+// the single-dash spellings of the same. Unknown flags are fine — callers
+// query by name with a default. Positional arguments are rejected.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace hsgd {
+
+class CliFlags {
+ public:
+  Status Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hsgd

@@ -1,0 +1,37 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+
+namespace hsgd {
+namespace internal {
+
+namespace {
+const char* SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kInfo: return "I";
+    case LogSeverity::kWarning: return "W";
+    case LogSeverity::kError: return "E";
+    case LogSeverity::kFatal: return "F";
+  }
+  return "?";
+}
+}  // namespace
+
+LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
+    : severity_(severity) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/' || *p == '\\') base = p + 1;
+  }
+  stream_ << "[" << SeverityTag(severity) << " " << base << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str() << std::flush;
+  if (severity_ == LogSeverity::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace hsgd

@@ -1,0 +1,68 @@
+// Streaming check macros and a tiny leveled logger.
+//
+//   HSGD_CHECK(cond) << "extra context";        // aborts when cond is false
+//   HSGD_CHECK_OK(status_or_statusor) << "..."; // aborts when !ok()
+//   HSGD_LOG(INFO) << "message";
+//
+// Fatal messages are flushed to stderr before abort().
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace hsgd {
+namespace internal {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  std::ostringstream stream_;
+  LogSeverity severity_;
+};
+
+// operator& has lower precedence than operator<< and higher than ?:, which
+// lets the CHECK macros swallow the streamed expression in the pass case.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define HSGD_LOG(severity)                                       \
+  ::hsgd::internal::LogMessage(                                  \
+      __FILE__, __LINE__, ::hsgd::internal::LogSeverity::k##severity) \
+      .stream()
+
+#define HSGD_CHECK(cond)                                            \
+  (cond) ? (void)0                                                  \
+         : ::hsgd::internal::LogMessageVoidify() &                  \
+               ::hsgd::internal::LogMessage(                        \
+                   __FILE__, __LINE__,                              \
+                   ::hsgd::internal::LogSeverity::kFatal)           \
+                       .stream()                                    \
+                   << "Check failed: " #cond " "
+
+// Statement-shaped but still streamable: the loop body runs at most once
+// because the fatal LogMessage aborts in its destructor.
+#define HSGD_CHECK_OK(expr)                                              \
+  for (const ::hsgd::Status _hsgd_chk_st =                               \
+           ::hsgd::internal::GetStatus((expr));                          \
+       !_hsgd_chk_st.ok();)                                              \
+  ::hsgd::internal::LogMessage(__FILE__, __LINE__,                       \
+                               ::hsgd::internal::LogSeverity::kFatal)    \
+          .stream()                                                      \
+      << "Status not OK: " << _hsgd_chk_st.ToString() << " "
+
+}  // namespace hsgd

@@ -1,0 +1,119 @@
+// Minimal Status / StatusOr error-handling vocabulary used across the
+// hsgd library. Modeled on absl::Status but dependency-free.
+
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace hsgd {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kInternal = 3,
+  kFailedPrecondition = 4,
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+      case StatusCode::kNotFound: name = "NOT_FOUND"; break;
+      case StatusCode::kInternal: name = "INTERNAL"; break;
+      case StatusCode::kFailedPrecondition: name = "FAILED_PRECONDITION"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error result. Accessing the value of a non-ok StatusOr is a
+/// programming error (asserted in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const Status& status) : status_(status) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  StatusOr(Status&& status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  StatusOr(T value)  // NOLINT
+      : status_(Status::Ok()), has_value_(true), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(has_value_);
+    return value_;
+  }
+  const T& value() const& {
+    assert(has_value_);
+    return value_;
+  }
+  T&& value() && {
+    assert(has_value_);
+    return std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  bool has_value_ = false;
+  T value_{};
+};
+
+namespace internal {
+inline const Status& GetStatus(const Status& s) { return s; }
+template <typename T>
+const Status& GetStatus(const StatusOr<T>& s) {
+  return s.status();
+}
+}  // namespace internal
+
+#define HSGD_RETURN_IF_ERROR(expr)                        \
+  do {                                                    \
+    const ::hsgd::Status _hsgd_status =                   \
+        ::hsgd::internal::GetStatus((expr));              \
+    if (!_hsgd_status.ok()) return _hsgd_status;          \
+  } while (0)
+
+}  // namespace hsgd

@@ -1,0 +1,82 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace hsgd {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(delim, start);
+    if (end == std::string::npos) end = s.size();
+    size_t lo = start, hi = end;
+    while (lo < hi && std::isspace(static_cast<unsigned char>(s[lo]))) ++lo;
+    while (hi > lo && std::isspace(static_cast<unsigned char>(s[hi - 1])))
+      --hi;
+    if (hi > lo) out.push_back(s.substr(lo, hi - lo));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string WithThousandsSep(int64_t value) {
+  bool negative = value < 0;
+  // Avoid overflow on INT64_MIN by formatting digits as unsigned.
+  uint64_t v = negative ? 0u - static_cast<uint64_t>(value)
+                        : static_cast<uint64_t>(value);
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string HumanBytes(int64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  if (v == static_cast<int64_t>(v)) {
+    return StrFormat("%lld%s", static_cast<long long>(v), kUnits[unit]);
+  }
+  return StrFormat("%.1f%s", v, kUnits[unit]);
+}
+
+std::string AsciiLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+}  // namespace hsgd

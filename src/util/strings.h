@@ -1,0 +1,32 @@
+// printf-style formatting and small string helpers used by the benches
+// and the library's human-readable output.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hsgd {
+
+/// printf into a std::string.
+std::string StrFormat(const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+/// Split on a single-character delimiter; empty tokens are dropped and
+/// surrounding whitespace is trimmed ("a, b," -> {"a", "b"}).
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// "1234567" -> "1,234,567" (handles negatives).
+std::string WithThousandsSep(int64_t value);
+
+/// "65536" -> "64KB"; powers of 1024, one decimal when inexact.
+std::string HumanBytes(int64_t bytes);
+
+/// ASCII lower-casing (locale independent).
+std::string AsciiLower(const std::string& s);
+
+}  // namespace hsgd

@@ -1,0 +1,95 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace hsgd {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  if (grain < 1) grain = 1;
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
+  if (num_chunks == 1 || threads_.empty()) {
+    for (int64_t lo = begin; lo < end; lo += grain) {
+      fn(lo, lo + grain < end ? lo + grain : end);
+    }
+    return;
+  }
+
+  // Shared work-claiming state. Everything a helper task touches lives in
+  // this block (or is copied into the lambda) because a losing helper can
+  // still be finishing its no-op loop iteration after ParallelFor returns.
+  struct ForState {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<ForState>();
+
+  auto run_chunks = [state, fn, begin, end, grain, num_chunks] {
+    for (;;) {
+      int64_t chunk = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      int64_t lo = begin + chunk * grain;
+      int64_t hi = lo + grain < end ? lo + grain : end;
+      fn(lo, hi);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  size_t helpers = threads_.size() < static_cast<size_t>(num_chunks - 1)
+                       ? threads_.size()
+                       : static_cast<size_t>(num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) Submit(run_chunks);
+  run_chunks();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == num_chunks;
+  });
+}
+
+}  // namespace hsgd

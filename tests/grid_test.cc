@@ -1,0 +1,160 @@
+#include <algorithm>
+#include <vector>
+
+#include "sched/blocked_matrix.h"
+#include "test_main.h"
+
+namespace hsgd {
+namespace {
+
+Ratings RandomRatings(int64_t nnz, int32_t rows, int32_t cols,
+                      uint64_t seed, bool skewed = false) {
+  Rng rng(seed);
+  Ratings out;
+  out.reserve(static_cast<size_t>(nnz));
+  for (int64_t i = 0; i < nnz; ++i) {
+    Rating rt;
+    if (skewed) {
+      // Power-law-ish row popularity: square the uniform draw.
+      double x = rng.NextDouble();
+      rt.u = static_cast<int32_t>(x * x * rows);
+      if (rt.u >= rows) rt.u = rows - 1;
+    } else {
+      rt.u = static_cast<int32_t>(rng.UniformInt(rows));
+    }
+    rt.v = static_cast<int32_t>(rng.UniformInt(cols));
+    rt.r = rng.NextFloat();
+    out.push_back(rt);
+  }
+  return out;
+}
+
+void CheckGridInvariants(const Grid& grid, const Ratings& ratings,
+                         int32_t rows, int32_t cols, int p, int q) {
+  EXPECT_EQ(grid.num_row_strata(), p);
+  EXPECT_EQ(grid.num_col_strata(), q);
+  EXPECT_EQ(grid.row_bounds.front(), 0);
+  EXPECT_EQ(grid.row_bounds.back(), rows);
+  EXPECT_EQ(grid.col_bounds.front(), 0);
+  EXPECT_EQ(grid.col_bounds.back(), cols);
+  for (size_t i = 1; i < grid.row_bounds.size(); ++i) {
+    EXPECT_LT(grid.row_bounds[i - 1], grid.row_bounds[i]);
+  }
+  for (size_t i = 1; i < grid.col_bounds.size(); ++i) {
+    EXPECT_LT(grid.col_bounds[i - 1], grid.col_bounds[i]);
+  }
+  // Every rating falls in exactly one block (RowOf/ColOf total functions
+  // over the index range, and the bounds partition it).
+  for (const Rating& rt : ratings) {
+    int r = grid.RowOf(rt.u), c = grid.ColOf(rt.v);
+    EXPECT_TRUE(r >= 0 && r < p);
+    EXPECT_TRUE(c >= 0 && c < q);
+    EXPECT_TRUE(grid.row_bounds[r] <= rt.u &&
+                rt.u < grid.row_bounds[r + 1]);
+    EXPECT_TRUE(grid.col_bounds[c] <= rt.v &&
+                rt.v < grid.col_bounds[c + 1]);
+  }
+}
+
+void TestBalancedGrid() {
+  const int32_t rows = 500, cols = 300;
+  const int p = 7, q = 5;
+  for (bool skewed : {false, true}) {
+    Ratings ratings = RandomRatings(30000, rows, cols, 42, skewed);
+    auto grid = BuildBalancedGrid(ratings, rows, cols, p, q);
+    EXPECT_TRUE(grid.ok());
+    CheckGridInvariants(*grid, ratings, rows, cols, p, q);
+
+    // Balance: every row stratum's load is within one heaviest-row of the
+    // ideal share (cuts can only fall on row boundaries).
+    std::vector<int64_t> row_nnz(static_cast<size_t>(rows), 0);
+    for (const Rating& rt : ratings) ++row_nnz[static_cast<size_t>(rt.u)];
+    int64_t heaviest = *std::max_element(row_nnz.begin(), row_nnz.end());
+    std::vector<int64_t> stratum_nnz(static_cast<size_t>(p), 0);
+    for (const Rating& rt : ratings) {
+      ++stratum_nnz[static_cast<size_t>(grid->RowOf(rt.u))];
+    }
+    int64_t ideal = static_cast<int64_t>(ratings.size()) / p;
+    for (int s = 0; s < p; ++s) {
+      EXPECT_LE(stratum_nnz[static_cast<size_t>(s)], ideal + heaviest + 1);
+    }
+  }
+}
+
+void TestGridErrors() {
+  Ratings ratings = RandomRatings(100, 10, 10, 1);
+  EXPECT_FALSE(BuildBalancedGrid(ratings, 10, 10, 0, 2).ok());
+  EXPECT_FALSE(BuildBalancedGrid(ratings, 10, 10, 11, 2).ok());
+  EXPECT_FALSE(BuildBalancedGrid(ratings, 10, 10, 2, 11).ok());
+  EXPECT_FALSE(BuildBalancedGrid(ratings, 0, 10, 1, 1).ok());
+  Ratings out_of_range = {{12, 0, 1.0f}};
+  EXPECT_FALSE(BuildBalancedGrid(out_of_range, 10, 10, 2, 2).ok());
+  // Degenerate but legal: a 1x1 grid.
+  auto one = BuildBalancedGrid(ratings, 10, 10, 1, 1);
+  EXPECT_TRUE(one.ok());
+  EXPECT_EQ(one->num_blocks(), 1);
+}
+
+void TestColShares() {
+  const int32_t rows = 400, cols = 600;
+  Ratings ratings = RandomRatings(50000, rows, cols, 7);
+  std::vector<double> shares = {0.6, 0.1, 0.1, 0.1, 0.1};
+  auto grid = BuildGridWithColShares(ratings, rows, cols, 4, shares);
+  EXPECT_TRUE(grid.ok());
+  CheckGridInvariants(*grid, ratings, rows, cols, 4, 5);
+
+  std::vector<int64_t> stripe_nnz(shares.size(), 0);
+  for (const Rating& rt : ratings) {
+    ++stripe_nnz[static_cast<size_t>(grid->ColOf(rt.v))];
+  }
+  double total = static_cast<double>(ratings.size());
+  // Column cuts land on column boundaries, so allow a few percent slack.
+  EXPECT_NEAR(stripe_nnz[0] / total, 0.6, 0.05);
+  for (size_t s = 1; s < shares.size(); ++s) {
+    EXPECT_NEAR(stripe_nnz[s] / total, 0.1, 0.05);
+  }
+
+  EXPECT_FALSE(
+      BuildGridWithColShares(ratings, rows, cols, 4, {0.5, -0.5}).ok());
+}
+
+void TestBlockedMatrix() {
+  const int32_t rows = 200, cols = 150;
+  Ratings ratings = RandomRatings(10000, rows, cols, 3);
+  auto grid = BuildBalancedGrid(ratings, rows, cols, 4, 3);
+  EXPECT_TRUE(grid.ok());
+  Rng rng(5);
+  auto matrix = BlockedMatrix::Build(ratings, *grid, &rng);
+  EXPECT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix->num_blocks(), 12);
+  EXPECT_EQ(matrix->total_nnz(), 10000);
+
+  // Conservation: block sizes sum to the input size, and every block's
+  // ratings live inside the block's strata.
+  int64_t sum = 0;
+  for (int b = 0; b < matrix->num_blocks(); ++b) {
+    sum += matrix->BlockNnz(b);
+    int row = b / 3, col = b % 3;
+    for (const Rating& rt : matrix->BlockRatings(b)) {
+      EXPECT_TRUE(grid->row_bounds[row] <= rt.u &&
+                  rt.u < grid->row_bounds[row + 1]);
+      EXPECT_TRUE(grid->col_bounds[col] <= rt.v &&
+                  rt.v < grid->col_bounds[col + 1]);
+    }
+  }
+  EXPECT_EQ(sum, 10000);
+}
+
+}  // namespace
+
+void RunAllTests() {
+  TestBalancedGrid();
+  TestGridErrors();
+  TestColShares();
+  TestBlockedMatrix();
+}
+
+}  // namespace hsgd
+
+using hsgd::RunAllTests;
+TEST_MAIN()

@@ -1,0 +1,146 @@
+#include <cmath>
+
+#include "core/dataset.h"
+#include "sim/cpu_device.h"
+#include "sim/gpu_device.h"
+#include "sim/pcie_link.h"
+#include "sim/profiler.h"
+#include "test_main.h"
+
+namespace hsgd {
+namespace {
+
+void TestPcieRampAndSaturation() {
+  GpuDeviceSpec spec;
+  PcieLink link(spec);
+  double prev = 0.0;
+  for (int64_t bytes = 64 << 10; bytes <= (256ll << 20); bytes *= 2) {
+    double bw =
+        link.EffectiveBandwidthGbps(bytes, TransferDirection::kHostToDevice);
+    EXPECT_LT(prev, bw);            // monotone ramp
+    EXPECT_LT(bw, spec.pcie_h2d_peak_gbps);  // never beats the link peak
+    prev = bw;
+  }
+  // Saturates: 256MB should be within 5% of peak.
+  EXPECT_LT(spec.pcie_h2d_peak_gbps * 0.95, prev);
+  // Small transfers are latency-bound, far from peak.
+  EXPECT_LT(
+      link.EffectiveBandwidthGbps(64 << 10, TransferDirection::kHostToDevice),
+      spec.pcie_h2d_peak_gbps * 0.5);
+  EXPECT_EQ(link.TransferTime(0, TransferDirection::kDeviceToHost), 0.0);
+}
+
+void TestCpuDeviceFlat() {
+  CpuDeviceSpec spec;
+  CpuDevice cpu(spec, 128);
+  // Fig 3b: per-thread speed is flat in block size.
+  double r50k = cpu.UpdateRate(50000);
+  double r400k = cpu.UpdateRate(400000);
+  EXPECT_LT(r50k, r400k);  // mild warm-up effect only
+  EXPECT_LT(r400k, spec.updates_per_sec_k128);
+  EXPECT_LT(spec.updates_per_sec_k128 * 0.9, r50k);
+  // Rank scaling: halving k doubles throughput.
+  CpuDevice cpu64(spec, 64);
+  EXPECT_NEAR(cpu64.UpdateRate(100000) / cpu.UpdateRate(100000), 2.0, 0.01);
+}
+
+void TestGpuKernelSaturation() {
+  GpuDeviceSpec spec;
+  SimtKernelModel kernel(spec, 128);
+  // Fig 3a / Fig 7: throughput rises steeply then flattens. The steep
+  // region is launch-overhead-dominated blocks of a few thousand points.
+  double r_small = 2000 / kernel.ExecTime(2000, 300, 200);
+  double r_large = 2500000 / kernel.ExecTime(2500000, 100000, 60000);
+  EXPECT_LT(r_small * 1.5, r_large);
+  EXPECT_LT(r_large, kernel.PeakRate() * 1.001);
+  // More workers, more peak throughput — sublinearly once memory-bound.
+  GpuDeviceSpec wide = spec;
+  wide.parallel_workers = 512;
+  SimtKernelModel kernel512(wide, 128);
+  double r512 = 20000000 / kernel512.ExecTime(20000000, 100000, 60000);
+  EXPECT_LT(r_large, r512);
+  EXPECT_LT(r512, kernel.PeakRate() * 4.0);  // mem cap bites before 4x
+}
+
+void TestGpuPipelineOrdering() {
+  GpuDeviceSpec spec;
+  GpuDevice serial(spec, 128, /*pipelined=*/false);
+  GpuWorkItem item{500000, 30000, 20000};
+  PipelineTiming t = serial.Process(1.0, item);
+  EXPECT_NEAR(t.h2d_start, 1.0, 1e-12);
+  EXPECT_LT(t.h2d_start, t.h2d_done);
+  EXPECT_LE(t.h2d_done, t.kernel_start);
+  EXPECT_LT(t.kernel_start, t.kernel_done);
+  EXPECT_LE(t.kernel_done, t.d2h_start);
+  EXPECT_LT(t.d2h_start, t.d2h_done);
+
+  // Non-pipelined: the next block waits for everything.
+  PipelineTiming t2 = serial.Process(1.0, item);
+  EXPECT_NEAR(t2.h2d_start, t.d2h_done, 1e-12);
+
+  // Pipelined: the next block's H2D overlaps this kernel.
+  GpuDevice pipelined(spec, 128, /*pipelined=*/true);
+  PipelineTiming p1 = pipelined.Process(0.0, item);
+  PipelineTiming p2 = pipelined.Process(0.0, item);
+  EXPECT_NEAR(p2.h2d_start, p1.h2d_done, 1e-12);
+  EXPECT_LT(p2.h2d_start, p1.kernel_done);
+}
+
+Dataset ProfileDataset() {
+  SyntheticSpec spec;
+  spec.num_rows = 5000;
+  spec.num_cols = 3000;
+  spec.train_nnz = 400000;
+  spec.test_nnz = 1000;
+  auto ds = GenerateSynthetic(spec, 3);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+void TestProfilerCostModels() {
+  Dataset ds = ProfileDataset();
+  Profiler profiler(GpuDeviceSpec(), CpuDeviceSpec(), 128);
+  auto model = profiler.BuildHsgdModel(ds);
+  EXPECT_TRUE(model.ok());
+  EXPECT_LT(0.0, model->cpu_rate);
+  EXPECT_LT(0.0, model->qilin_b);
+  EXPECT_LT(0.0, model->gpu_worker_point_time);
+
+  AlphaQuery query;
+  query.epoch_nnz = ds.train_size();
+  query.num_cpu_threads = 16;
+  query.num_gpus = 1;
+  query.row_strata = 17;
+  query.num_rows = ds.num_rows;
+  query.num_cols = ds.num_cols;
+  for (CostModelKind kind : {CostModelKind::kQilin, CostModelKind::kOurs}) {
+    double alpha = model->DecideAlpha(kind, query);
+    EXPECT_TRUE(alpha >= 0.02 && alpha <= 0.98);
+  }
+  // Fewer CPU threads => a larger GPU share, under either model.
+  AlphaQuery fewer = query;
+  fewer.num_cpu_threads = 4;
+  EXPECT_LT(model->DecideAlpha(CostModelKind::kOurs, query),
+            model->DecideAlpha(CostModelKind::kOurs, fewer));
+
+  // Empty dataset is a profiling error, not a crash.
+  Dataset empty;
+  empty.num_rows = 10;
+  empty.num_cols = 10;
+  EXPECT_FALSE(profiler.BuildHsgdModel(empty).ok());
+}
+
+}  // namespace
+
+void RunAllTests() {
+  TestPcieRampAndSaturation();
+  TestCpuDeviceFlat();
+  TestGpuKernelSaturation();
+  TestGpuPipelineOrdering();
+  TestProfilerCostModels();
+}
+
+}  // namespace hsgd
+
+using hsgd::RunAllTests;
+TEST_MAIN()

@@ -1,0 +1,81 @@
+// Minimal assertion harness for the ctest suite: no external test
+// framework in the container, so each test binary is a plain main() that
+// returns the number of failed expectations (0 == pass).
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace hsgd {
+namespace testing {
+
+inline int& Failures() {
+  static int failures = 0;
+  return failures;
+}
+
+inline void Fail(const char* file, int line, const std::string& what) {
+  std::fprintf(stderr, "FAIL %s:%d: %s\n", file, line, what.c_str());
+  ++Failures();
+}
+
+}  // namespace testing
+}  // namespace hsgd
+
+#define EXPECT_TRUE(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::hsgd::testing::Fail(__FILE__, __LINE__, #cond);     \
+  } while (0)
+
+#define EXPECT_FALSE(cond) EXPECT_TRUE(!(cond))
+
+#define EXPECT_EQ(a, b)                                                   \
+  do {                                                                    \
+    if (!((a) == (b)))                                                    \
+      ::hsgd::testing::Fail(__FILE__, __LINE__,                           \
+                            std::string(#a " == " #b));                   \
+  } while (0)
+
+#define EXPECT_NEAR(a, b, tol)                                            \
+  do {                                                                    \
+    double _ta = static_cast<double>(a), _tb = static_cast<double>(b);    \
+    if (!(std::fabs(_ta - _tb) <= (tol)))                                 \
+      ::hsgd::testing::Fail(                                              \
+          __FILE__, __LINE__,                                             \
+          std::string(#a " ~= " #b " (") + std::to_string(_ta) +          \
+              " vs " + std::to_string(_tb) + ")");                        \
+  } while (0)
+
+#define EXPECT_LT(a, b)                                                   \
+  do {                                                                    \
+    if (!((a) < (b)))                                                     \
+      ::hsgd::testing::Fail(                                              \
+          __FILE__, __LINE__,                                             \
+          std::string(#a " < " #b " (") +                                 \
+              std::to_string(static_cast<double>(a)) + " vs " +           \
+              std::to_string(static_cast<double>(b)) + ")");              \
+  } while (0)
+
+#define EXPECT_LE(a, b)                                                   \
+  do {                                                                    \
+    if (!((a) <= (b)))                                                    \
+      ::hsgd::testing::Fail(                                              \
+          __FILE__, __LINE__,                                             \
+          std::string(#a " <= " #b " (") +                                \
+              std::to_string(static_cast<double>(a)) + " vs " +           \
+              std::to_string(static_cast<double>(b)) + ")");              \
+  } while (0)
+
+#define TEST_MAIN()                                                     \
+  int main() {                                                          \
+    RunAllTests();                                                      \
+    if (::hsgd::testing::Failures() == 0) {                             \
+      std::printf("PASS\n");                                            \
+      return 0;                                                         \
+    }                                                                   \
+    std::fprintf(stderr, "%d expectation(s) failed\n",                  \
+                 ::hsgd::testing::Failures());                          \
+    return 1;                                                           \
+  }

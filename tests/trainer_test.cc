@@ -1,0 +1,180 @@
+#include <cmath>
+
+#include "core/hsgd.h"
+#include "test_main.h"
+
+namespace hsgd {
+namespace {
+
+Dataset SmallDataset(uint64_t seed = 5) {
+  SyntheticSpec spec;
+  spec.num_rows = 600;
+  spec.num_cols = 500;
+  spec.train_nnz = 40000;
+  spec.test_nnz = 4000;
+  spec.params.k = 16;
+  spec.params.learning_rate = 0.01f;
+  spec.noise_stddev = 0.3;
+  auto ds = GenerateSynthetic(spec, seed);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TrainConfig SmallConfig(Algorithm algorithm) {
+  TrainConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.hardware.num_cpu_threads = 4;
+  cfg.hardware.num_gpus = 1;
+  cfg.max_epochs = 5;
+  cfg.use_dataset_target = false;
+  cfg.eval_threads = 2;
+  return cfg;
+}
+
+void TestAllAlgorithmsRun() {
+  Dataset ds = SmallDataset();
+  for (Algorithm algorithm :
+       {Algorithm::kCpuOnly, Algorithm::kGpuOnly, Algorithm::kHsgd,
+        Algorithm::kHsgdStar}) {
+    auto result = Trainer::Train(ds, SmallConfig(algorithm));
+    EXPECT_TRUE(result.ok());
+    if (!result.ok()) continue;
+    EXPECT_EQ(result->trace.points.size(), 5u);
+    EXPECT_LT(0.0, result->stats.sim_seconds);
+    EXPECT_LT(0, result->stats.block_tasks);
+    // Learning happened: RMSE dropped versus the first epoch.
+    EXPECT_LT(result->trace.points.back().test_rmse,
+              result->trace.points.front().test_rmse * 0.95);
+    // Epoch times are strictly increasing.
+    for (size_t i = 1; i < result->trace.points.size(); ++i) {
+      EXPECT_LT(result->trace.points[i - 1].time,
+                result->trace.points[i].time);
+    }
+  }
+}
+
+void TestDeterminism() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgdStar);
+  auto a = Trainer::Train(ds, cfg);
+  auto b = Trainer::Train(ds, cfg);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(a->trace.points.size(), b->trace.points.size());
+  for (size_t i = 0; i < a->trace.points.size(); ++i) {
+    // Bit-exact: same seed, same virtual schedule, same arithmetic.
+    EXPECT_EQ(a->trace.points[i].time, b->trace.points[i].time);
+    EXPECT_EQ(a->trace.points[i].test_rmse, b->trace.points[i].test_rmse);
+    EXPECT_EQ(a->trace.points[i].train_rmse,
+              b->trace.points[i].train_rmse);
+  }
+  EXPECT_EQ(a->stats.sim_seconds, b->stats.sim_seconds);
+  EXPECT_EQ(a->stats.stolen_by_gpus, b->stats.stolen_by_gpus);
+  EXPECT_EQ(a->stats.stolen_by_cpus, b->stats.stolen_by_cpus);
+
+  TrainConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  auto c = Trainer::Train(ds, other);
+  EXPECT_TRUE(c.ok());
+  // A different seed draws different device speeds and shuffles: the
+  // virtual clock will not match bit-for-bit.
+  EXPECT_TRUE(c->stats.sim_seconds != a->stats.sim_seconds);
+}
+
+void TestTargetStopsEarly() {
+  Dataset ds = SmallDataset();
+  ds.target_rmse = 100.0;  // trivially reachable after one epoch
+  TrainConfig cfg = SmallConfig(Algorithm::kCpuOnly);
+  cfg.use_dataset_target = true;
+  auto result = Trainer::Train(ds, cfg);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.reached_target);
+  EXPECT_EQ(result->trace.points.size(), 1u);
+  EXPECT_EQ(result->trace.TimeToReach(100.0),
+            result->trace.points[0].time);
+
+  ds.target_rmse = 1e-9;  // unreachable
+  auto never = Trainer::Train(ds, cfg);
+  EXPECT_TRUE(never.ok());
+  EXPECT_FALSE(never->stats.reached_target);
+  EXPECT_TRUE(never->trace.TimeToReach(1e-9) >= kSimTimeNever);
+}
+
+void TestStarAlphaAndStats() {
+  Dataset ds = SmallDataset();
+  auto result = Trainer::Train(ds, SmallConfig(Algorithm::kHsgdStar));
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.alpha > 0.0 && result->stats.alpha < 1.0);
+  EXPECT_TRUE(result->stats.update_rate_cv >= 0.0);
+
+  auto cpu_only = Trainer::Train(ds, SmallConfig(Algorithm::kCpuOnly));
+  EXPECT_NEAR(cpu_only->stats.alpha, 0.0, 1e-12);
+  auto gpu_only = Trainer::Train(ds, SmallConfig(Algorithm::kGpuOnly));
+  EXPECT_NEAR(gpu_only->stats.alpha, 1.0, 1e-12);
+}
+
+void TestDynamicNoSlowerThanStatic() {
+  Dataset ds = SmallDataset();
+  // Averaged over a batch of variability draws, the dynamic phase must
+  // help: stealing only happens where the static plan left a device
+  // idle. (Individual draws can be neutral — balanced plans steal
+  // nothing — so this is a mean-behavior property.)
+  double static_total = 0.0, dynamic_total = 0.0;
+  int64_t stolen = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    for (bool dynamic : {false, true}) {
+      TrainConfig cfg = SmallConfig(Algorithm::kHsgdStar);
+      // Exaggerated device variability guarantees the static plan is
+      // badly wrong on some draws — exactly when stealing must kick in.
+      cfg.hardware.speed_variability = 0.5;
+      cfg.dynamic_scheduling = dynamic;
+      cfg.seed = seed;
+      auto result = Trainer::Train(ds, cfg);
+      EXPECT_TRUE(result.ok());
+      (dynamic ? dynamic_total : static_total) +=
+          result->stats.sim_seconds;
+      if (dynamic) {
+        stolen +=
+            result->stats.stolen_by_gpus + result->stats.stolen_by_cpus;
+      } else {
+        EXPECT_EQ(result->stats.stolen_by_gpus, 0);
+        EXPECT_EQ(result->stats.stolen_by_cpus, 0);
+      }
+    }
+  }
+  EXPECT_LT(dynamic_total, static_total * 1.001);
+  EXPECT_LT(0, stolen);
+}
+
+void TestInvalidConfigs() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kCpuOnly);
+  cfg.hardware.num_cpu_threads = 0;
+  EXPECT_FALSE(Trainer::Train(ds, cfg).ok());
+  cfg = SmallConfig(Algorithm::kGpuOnly);
+  cfg.hardware.num_gpus = 0;
+  EXPECT_FALSE(Trainer::Train(ds, cfg).ok());
+  cfg = SmallConfig(Algorithm::kHsgd);
+  cfg.max_epochs = 0;
+  EXPECT_FALSE(Trainer::Train(ds, cfg).ok());
+  Dataset empty;
+  empty.num_rows = 10;
+  empty.num_cols = 10;
+  EXPECT_FALSE(Trainer::Train(empty, SmallConfig(Algorithm::kHsgd)).ok());
+}
+
+}  // namespace
+
+void RunAllTests() {
+  TestAllAlgorithmsRun();
+  TestDeterminism();
+  TestTargetStopsEarly();
+  TestStarAlphaAndStats();
+  TestDynamicNoSlowerThanStatic();
+  TestInvalidConfigs();
+}
+
+}  // namespace hsgd
+
+using hsgd::RunAllTests;
+TEST_MAIN()
