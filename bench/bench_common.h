@@ -1,6 +1,8 @@
 // Shared plumbing for the paper-reproduction benchmark binaries.
 //
-// Every bench accepts:
+// Every bench accepts the shared flag table below (printed by --help);
+// unknown flags are an error naming the flag, so a typo'd --epoch=5
+// fails loudly instead of silently running the default budget:
 //   --scale=<mult>    multiply each preset's default bench scale (default 1)
 //   --threads=<nc>    CPU worker threads (default 16, the paper's default)
 //   --gpus=<ng>       GPUs (default 1)
@@ -8,11 +10,17 @@
 //   --epochs=<cap>    epoch budget (default per bench)
 //   --datasets=a,b    comma list (default: all four presets)
 //   --seed=<n>
+//
+// Training benches run through the Session API (RunSession below); the
+// RMSE-curve and dynamic-scheduling benches attach EpochObservers
+// directly to stream progress as epochs complete.
 
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/hsgd.h"
@@ -33,10 +41,40 @@ struct BenchContext {
   std::vector<DatasetPreset> presets;
 };
 
+inline std::vector<FlagSpec> SharedFlagSpecs() {
+  return {
+      {"scale", "<mult>",
+       "multiply each preset's default bench scale (default 1)"},
+      {"threads", "<nc>", "CPU worker threads (default 16)"},
+      {"gpus", "<ng>", "simulated GPUs (default 1)"},
+      {"workers", "<W>", "GPU parallel workers (default 128)"},
+      {"epochs", "<cap>", "epoch budget (default per bench)"},
+      {"datasets", "<a,b>",
+       "comma list of presets (default: all four presets)"},
+      {"seed", "<n>", "RNG seed (default 1)"},
+  };
+}
+
+/// Parses the shared flags plus any bench-specific `extra_flags`.
+/// Unknown flags and malformed command lines print the offending flag
+/// and the full flag table, then exit 2; --help prints the table and
+/// exits 0.
 inline BenchContext ParseContext(int argc, char** argv,
-                                 int default_epochs = 30) {
+                                 int default_epochs = 30,
+                                 std::vector<FlagSpec> extra_flags = {}) {
+  std::vector<FlagSpec> specs = SharedFlagSpecs();
+  for (FlagSpec& spec : extra_flags) specs.push_back(std::move(spec));
   BenchContext ctx;
-  HSGD_CHECK_OK(ctx.flags.Parse(argc, argv));
+  Status parsed = ctx.flags.Parse(argc, argv, specs);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 FormatFlagTable(specs).c_str());
+    std::exit(2);
+  }
+  if (ctx.flags.GetBool("help", false)) {
+    std::printf("%s", FormatFlagTable(specs).c_str());
+    std::exit(0);
+  }
   ctx.scale_mult = ctx.flags.GetDouble("scale", 1.0);
   ctx.threads = static_cast<int>(ctx.flags.GetInt("threads", 16));
   ctx.gpus = static_cast<int>(ctx.flags.GetInt("gpus", 1));
@@ -77,6 +115,18 @@ inline TrainConfig MakeConfig(Algorithm algorithm, const BenchContext& ctx) {
   cfg.max_epochs = ctx.max_epochs;
   cfg.seed = ctx.seed;
   return cfg;
+}
+
+/// \brief Run a full training session (aborting on any error) and return
+/// its trace + stats. `observer` (optional, borrowed) watches the epochs
+/// as they complete.
+inline TrainResult RunSession(const Dataset& ds, const TrainConfig& cfg,
+                              EpochObserver* observer = nullptr) {
+  auto session = Session::Create(ds, cfg);
+  HSGD_CHECK_OK(session.status());
+  if (observer != nullptr) (*session)->AddObserver(observer);
+  HSGD_CHECK_OK((*session)->RunToCompletion());
+  return {(*session)->trace(), (*session)->stats()};
 }
 
 inline void PrintHeader(const std::string& title) {

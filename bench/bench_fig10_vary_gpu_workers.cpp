@@ -16,11 +16,10 @@ namespace {
 
 SimTime TimeToTarget(const Dataset& ds, TrainConfig cfg) {
   cfg.use_dataset_target = true;
-  auto result = Trainer::Train(ds, cfg);
-  HSGD_CHECK_OK(result.status());
-  return result->stats.reached_target ? result->trace.TimeToReach(
-                                            ds.target_rmse)
-                                      : kSimTimeNever;
+  TrainResult result = RunSession(ds, cfg);
+  return result.stats.reached_target
+             ? result.trace.TimeToReach(ds.target_rmse)
+             : kSimTimeNever;
 }
 
 }  // namespace

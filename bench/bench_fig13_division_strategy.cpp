@@ -24,14 +24,13 @@ int main(int argc, char** argv) {
     for (Algorithm algorithm : {Algorithm::kHsgd, Algorithm::kHsgdStar}) {
       TrainConfig cfg = MakeConfig(algorithm, ctx);
       cfg.use_dataset_target = false;
-      auto result = Trainer::Train(ds, cfg);
-      HSGD_CHECK_OK(result.status());
-      for (const TracePoint& p : result->trace.points) {
+      TrainResult result = RunSession(ds, cfg);
+      for (const TracePoint& p : result.trace.points) {
         std::printf("%-10s %8d %12.3f %12.4f\n", AlgorithmName(algorithm),
                     p.epoch, p.time, p.test_rmse);
       }
       std::printf("%-10s update-rate CV = %.3f\n",
-                  AlgorithmName(algorithm), result->stats.update_rate_cv);
+                  AlgorithmName(algorithm), result.stats.update_rate_cv);
     }
   }
   return 0;

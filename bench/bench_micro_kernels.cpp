@@ -4,8 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "core/hsgd.h"
 #include "sched/blocked_matrix.h"
@@ -138,13 +140,52 @@ void BM_FullEpochHsgdStar(benchmark::State& state) {
   cfg.max_epochs = 1;
   cfg.use_dataset_target = false;
   for (auto _ : state) {
-    auto result = Trainer::Train(ds, cfg);
-    HSGD_CHECK_OK(result.status());
-    benchmark::DoNotOptimize(result);
+    auto session = Session::Create(ds, cfg);
+    HSGD_CHECK_OK(session.status());
+    HSGD_CHECK_OK((*session)->RunToCompletion());
+    benchmark::DoNotOptimize(*session);
   }
   state.SetItemsProcessed(state.iterations() * ds.train_size());
 }
 BENCHMARK(BM_FullEpochHsgdStar)->Unit(benchmark::kMillisecond);
+
+void BM_SessionCheckpointRoundtrip(benchmark::State& state) {
+  Dataset ds = MicroDataset(200000);
+  ds.params.k = 32;
+  TrainConfig cfg;
+  cfg.algorithm = Algorithm::kHsgdStar;
+  cfg.max_epochs = 2;
+  cfg.use_dataset_target = false;
+  auto session = Session::Create(ds, cfg);
+  HSGD_CHECK_OK(session.status());
+  HSGD_CHECK_OK((*session)->RunEpoch().status());
+  const std::string path = "bench_micro_ckpt.bin";
+  for (auto _ : state) {
+    HSGD_CHECK_OK((*session)->SaveCheckpoint(path));
+    auto restored = Session::Restore(path, ds);
+    HSGD_CHECK_OK(restored.status());
+    benchmark::DoNotOptimize(*restored);
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SessionCheckpointRoundtrip)->Unit(benchmark::kMillisecond);
+
+void BM_RecommenderTopK(benchmark::State& state) {
+  Dataset ds = MicroDataset(300000);
+  Model model(ds.num_rows, ds.num_cols, 128);
+  Rng rng(1);
+  model.InitRandom(&rng, 3.0);
+  Recommender recommender(&model, ds.train);
+  int32_t user = 0;
+  for (auto _ : state) {
+    auto top = recommender.TopK(user, static_cast<int>(state.range(0)));
+    HSGD_CHECK_OK(top.status());
+    benchmark::DoNotOptimize(*top);
+    user = (user + 1) % ds.num_rows;
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_cols);
+}
+BENCHMARK(BM_RecommenderTopK)->Arg(10)->Arg(100);
 
 }  // namespace
 }  // namespace hsgd

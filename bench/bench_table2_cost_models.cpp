@@ -36,11 +36,10 @@ int main(int argc, char** argv) {
       cfg.cost_model = kind;
       cfg.dynamic_scheduling = false;  // isolate the cost-model effect
       cfg.use_dataset_target = false;  // fixed iteration count
-      auto result = Trainer::Train(ds, cfg);
-      HSGD_CHECK_OK(result.status());
-      split[i][0] = (1.0 - result->stats.alpha) * 100.0;
-      split[i][1] = result->stats.alpha * 100.0;
-      times[i] = result->stats.sim_seconds;
+      TrainResult result = RunSession(ds, cfg);
+      split[i][0] = (1.0 - result.stats.alpha) * 100.0;
+      split[i][1] = result.stats.alpha * 100.0;
+      times[i] = result.stats.sim_seconds;
       ++i;
     }
     std::printf("%-14s %9.2f%% %9.2f%% %12.3f %9.2f%% %9.2f%% %12.3f\n",

@@ -1,0 +1,99 @@
+// Binary checkpoint format for hsgd::Session (versioned, self-describing
+// enough to fail loudly on mismatch).
+//
+// Layout: a magic + version header, the full TrainConfig, a fingerprint
+// of the training data (dimensions, rank, nnz counts and a content hash —
+// the ratings themselves are NOT stored; Session::Restore takes the
+// dataset from the caller and verifies it against the fingerprint), then
+// the evolving session state: epoch counter, virtual clock, stat
+// accumulators, the scheduler's RNG stream and steal tallies, per-GPU
+// pipeline stream state, the trace so far, and the factor matrices.
+//
+// Everything else a session holds (grid cuts, blocked matrix, cost-model
+// alpha, device speed draws) is deterministic from (dataset, config) and
+// is rebuilt on restore rather than stored, which keeps checkpoints at
+// essentially the size of the factors.
+//
+// Values are written in native endianness — checkpoints are a
+// resume-on-the-same-machine facility, not an interchange format.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/session.h"
+#include "sim/gpu_device.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hsgd {
+
+inline constexpr uint64_t kCheckpointMagic = 0x485347444348504Bull;  // "HSGDCHPK"
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Cheap identity of the data a session was trained on. Restore refuses
+/// a dataset whose fingerprint differs — resuming on different ratings
+/// would silently produce garbage factors.
+struct DatasetFingerprint {
+  int32_t num_rows = 0;
+  int32_t num_cols = 0;
+  int32_t k = 0;
+  int64_t train_nnz = 0;
+  int64_t test_nnz = 0;
+  /// FNV-1a over the train ratings' (u, v, r) bytes in order.
+  uint64_t train_hash = 0;
+
+  bool operator==(const DatasetFingerprint& other) const;
+  bool operator!=(const DatasetFingerprint& other) const {
+    return !(*this == other);
+  }
+};
+
+DatasetFingerprint FingerprintDataset(const Dataset& dataset);
+
+/// Complete resumable state of a Session, as stored on disk. Filled by
+/// Session::SaveCheckpoint and consumed by Session::Restore; exposed here
+/// so tests and tools can inspect checkpoints without a session.
+struct SessionCheckpoint {
+  TrainConfig config;
+  DatasetFingerprint dataset;
+
+  int32_t epochs_run = 0;
+  bool reached_target = false;
+  double sim_clock = 0.0;
+  double wall_seconds = 0.0;
+
+  int64_t block_tasks = 0;
+  int64_t gpu_nnz = 0;
+  int64_t total_nnz_processed = 0;
+  int64_t duration_count = 0;
+  double duration_sum = 0.0;
+  double duration_sumsq = 0.0;
+
+  RngState scheduler_rng;
+  int64_t stolen_by_gpus = 0;
+  int64_t stolen_by_cpus = 0;
+
+  std::vector<GpuStreamState> gpu_streams;
+  std::vector<TracePoint> trace;
+
+  /// Row-major factor matrices (num_rows*k / num_cols*k).
+  std::vector<float> p;
+  std::vector<float> q;
+};
+
+/// Write `checkpoint` to `path` atomically (temp file + rename): readers
+/// never observe a torn file, and a crash mid-write leaves any previous
+/// checkpoint at `path` intact.
+Status WriteCheckpoint(const std::string& path,
+                       const SessionCheckpoint& checkpoint);
+
+/// Read and validate (magic, version, structural sizes). Fails with
+/// NotFound for a missing file and InvalidArgument for a corrupt or
+/// version-mismatched one.
+StatusOr<SessionCheckpoint> ReadCheckpoint(const std::string& path);
+
+}  // namespace hsgd

@@ -1,18 +1,24 @@
 // Umbrella header for the hsgd library: datasets, the factor model and
 // real SGD/RMSE kernels, the device simulators, the block schedulers, and
-// the Trainer that ties them together. The bench drivers include this
-// (plus individual sim/sched headers when they poke at internals).
+// the Session engine that ties them together (plus the legacy Trainer
+// facade, checkpointing, and the top-k Recommender). The bench drivers
+// include this (plus individual sim/sched headers when they poke at
+// internals).
 //
 // Layering:
 //   util/  - status, logging, strings, cli, rng, stopwatch, thread pool
-//   core/  - datasets, model, SGD kernels, trainer (this directory)
+//   core/  - datasets, model, SGD kernels, session engine + checkpoint,
+//            recommender, legacy trainer facade (this directory)
 //   sim/   - simulated CPU/GPU devices, PCIe link, profiler + cost models
 //   sched/ - grid division, blocked matrix, uniform & star schedulers
 
 #pragma once
 
+#include "core/checkpoint.h"
 #include "core/dataset.h"
 #include "core/model.h"
+#include "core/recommender.h"
+#include "core/session.h"
 #include "core/trainer.h"
 #include "core/types.h"
 #include "sched/blocked_matrix.h"

@@ -37,6 +37,15 @@ class Model {
 
   float Predict(int32_t u, int32_t v) const;
 
+  /// Contiguous row-major factor storage (num_rows*k / num_cols*k floats)
+  /// for bulk serialization; use Row()/Col() for per-entity access.
+  const float* p_data() const { return p_.data(); }
+  float* p_data() { return p_.data(); }
+  const float* q_data() const { return q_.data(); }
+  float* q_data() { return q_.data(); }
+  size_t p_size() const { return p_.size(); }
+  size_t q_size() const { return q_.size(); }
+
  private:
   int32_t num_rows_;
   int32_t num_cols_;

@@ -1,0 +1,124 @@
+#include "core/recommender.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace hsgd {
+
+Recommender::Recommender(const Model* model, const Ratings& rated)
+    : model_(model) {
+  HSGD_CHECK(model != nullptr);
+  const int32_t num_users = model_->num_rows();
+  const int32_t num_items = model_->num_cols();
+  // Counting sort into CSR: one pass for per-user counts, one to place.
+  rated_offsets_.assign(static_cast<size_t>(num_users) + 1, 0);
+  for (const Rating& r : rated) {
+    if (r.u < 0 || r.u >= num_users || r.v < 0 || r.v >= num_items) {
+      continue;
+    }
+    ++rated_offsets_[static_cast<size_t>(r.u) + 1];
+  }
+  for (size_t u = 1; u < rated_offsets_.size(); ++u) {
+    rated_offsets_[u] += rated_offsets_[u - 1];
+  }
+  rated_items_.resize(static_cast<size_t>(rated_offsets_.back()));
+  std::vector<int64_t> cursor(rated_offsets_.begin(),
+                              rated_offsets_.end() - 1);
+  for (const Rating& r : rated) {
+    if (r.u < 0 || r.u >= num_users || r.v < 0 || r.v >= num_items) {
+      continue;
+    }
+    rated_items_[static_cast<size_t>(cursor[static_cast<size_t>(r.u)]++)] =
+        r.v;
+  }
+  // Sort each user's list and drop duplicate (u, v) observations, so
+  // NumRated reports distinct items and matches what TopK excludes.
+  size_t write = 0;
+  int64_t read_begin = 0;
+  for (int32_t u = 0; u < num_users; ++u) {
+    const int64_t read_end = rated_offsets_[static_cast<size_t>(u) + 1];
+    std::sort(rated_items_.begin() + read_begin,
+              rated_items_.begin() + read_end);
+    const size_t unique_begin = write;
+    for (int64_t i = read_begin; i < read_end; ++i) {
+      const int32_t item = rated_items_[static_cast<size_t>(i)];
+      if (write == unique_begin || rated_items_[write - 1] != item) {
+        rated_items_[write++] = item;
+      }
+    }
+    read_begin = read_end;
+    rated_offsets_[static_cast<size_t>(u) + 1] =
+        static_cast<int64_t>(write);
+  }
+  rated_items_.resize(write);
+}
+
+int64_t Recommender::NumRated(int32_t user) const {
+  if (user < 0 || user >= model_->num_rows()) return 0;
+  return rated_offsets_[static_cast<size_t>(user) + 1] -
+         rated_offsets_[static_cast<size_t>(user)];
+}
+
+StatusOr<std::vector<ScoredItem>> Recommender::TopK(int32_t user,
+                                                    int k) const {
+  if (user < 0 || user >= model_->num_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("user %d out of range [0, %d)", user,
+                  model_->num_rows()));
+  }
+  if (k <= 0) {
+    return Status::InvalidArgument(StrFormat("k must be positive, got %d",
+                                             k));
+  }
+  const int32_t num_items = model_->num_cols();
+  const int dim = model_->k();
+  const float* p = model_->Row(user);
+
+  // better(a, b): a outranks b — higher score, ties to the smaller item
+  // id for determinism. Used as the heap comparator, it keeps the WORST
+  // retained candidate on top, so a better score evicts it in O(log k).
+  auto better = [](const ScoredItem& a, const ScoredItem& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  };
+  std::priority_queue<ScoredItem, std::vector<ScoredItem>,
+                      decltype(better)>
+      heap(better);
+
+  const int64_t rated_begin = rated_offsets_[static_cast<size_t>(user)];
+  const int64_t rated_end = rated_offsets_[static_cast<size_t>(user) + 1];
+  int64_t rated_cursor = rated_begin;
+  for (int32_t v = 0; v < num_items; ++v) {
+    // The exclusion list is sorted, so one forward cursor skips rated
+    // items in O(1) amortized instead of a per-item binary search.
+    while (rated_cursor < rated_end &&
+           rated_items_[static_cast<size_t>(rated_cursor)] < v) {
+      ++rated_cursor;
+    }
+    if (rated_cursor < rated_end &&
+        rated_items_[static_cast<size_t>(rated_cursor)] == v) {
+      continue;
+    }
+    const float* q = model_->Col(v);
+    float score = 0.0f;
+    for (int d = 0; d < dim; ++d) score += p[d] * q[d];
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push({v, score});
+    } else if (better(ScoredItem{v, score}, heap.top())) {
+      heap.pop();
+      heap.push({v, score});
+    }
+  }
+
+  std::vector<ScoredItem> result(heap.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = heap.top();
+    heap.pop();
+  }
+  return result;
+}
+
+}  // namespace hsgd

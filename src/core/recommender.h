@@ -1,0 +1,56 @@
+// Serving facade over trained factors: top-k item retrieval for a user,
+// excluding the items the user already rated. This is the query half of
+// the ROADMAP's serving path — a shardable server wraps this class; the
+// scoring itself has no dependency on the trainer or the simulators.
+//
+// The recommender borrows the model (e.g. a live Session's `model()`, or
+// one restored from a checkpoint) and indexes the exclusion set once at
+// construction; TopK itself is read-only and safe to call from many
+// threads concurrently.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace hsgd {
+
+struct ScoredItem {
+  int32_t item = 0;
+  float score = 0.0f;
+};
+
+class Recommender {
+ public:
+  /// `model` is borrowed and must outlive the recommender. `rated` lists
+  /// the known (user, item) interactions to exclude from results —
+  /// typically the training ratings; entries outside the model's
+  /// dimensions are ignored.
+  Recommender(const Model* model, const Ratings& rated);
+
+  /// The `k` highest-scoring items for `user` (score = p_u . q_v),
+  /// excluding items the user already rated. Sorted by descending score;
+  /// equal scores break ties by ascending item id, so results are
+  /// deterministic. Returns fewer than `k` items when the catalog minus
+  /// the exclusions is smaller. InvalidArgument for an out-of-range user
+  /// or non-positive k.
+  StatusOr<std::vector<ScoredItem>> TopK(int32_t user, int k) const;
+
+  int32_t num_users() const { return model_->num_rows(); }
+  int32_t num_items() const { return model_->num_cols(); }
+  /// Items `user` has rated (the exclusion set), sorted ascending.
+  int64_t NumRated(int32_t user) const;
+
+ private:
+  const Model* model_;
+  /// CSR-style per-user exclusion lists: items of user u live in
+  /// rated_items_[rated_offsets_[u] .. rated_offsets_[u + 1]), sorted.
+  std::vector<int64_t> rated_offsets_;
+  std::vector<int32_t> rated_items_;
+};
+
+}  // namespace hsgd

@@ -1,0 +1,654 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "sched/star_scheduler.h"
+#include "sched/uniform_scheduler.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace hsgd {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kCpuOnly: return "CPU-Only";
+    case Algorithm::kGpuOnly: return "GPU-Only";
+    case Algorithm::kHsgd: return "HSGD";
+    case Algorithm::kHsgdStar: return "HSGD*";
+  }
+  return "unknown";
+}
+
+SimTime Trace::TimeToReach(double rmse) const {
+  if (points.empty()) return kSimTimeNever;
+#ifndef NDEBUG
+  for (size_t i = 1; i < points.size(); ++i) {
+    assert(points[i - 1].epoch < points[i].epoch &&
+           "trace points must be epoch-monotone");
+  }
+#endif
+  for (const TracePoint& p : points) {
+    if (p.test_rmse <= rmse) return p.time;
+  }
+  return kSimTimeNever;
+}
+
+namespace {
+
+/// Heap events: a worker's task completing (kind 0, releases strata) or a
+/// worker becoming ready to acquire (kind 1). Releases sort before
+/// acquires at equal times so freed strata are visible; seq keeps the
+/// order fully deterministic.
+struct Event {
+  SimTime time = 0.0;
+  int kind = 1;
+  int64_t seq = 0;
+  int worker = 0;
+  BlockTask task;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.seq > b.seq;
+  }
+};
+
+int ClampStrata(int want, int64_t dim) {
+  return static_cast<int>(
+      std::max<int64_t>(1, std::min<int64_t>(want, dim)));
+}
+
+/// Resident column stripes per GPU under HSGD*. Two, not one: the GPU
+/// finishes one stripe before opening the next, so a lagging GPU always
+/// has a free (yet resident) stripe that idle CPU threads can steal from.
+constexpr int kStripesPerGpu = 2;
+
+Status ValidateConfig(const Dataset& ds, const TrainConfig& config) {
+  if (ds.train.empty()) {
+    return Status::InvalidArgument("dataset has no training ratings");
+  }
+  if (ds.num_rows <= 0 || ds.num_cols <= 0) {
+    return Status::InvalidArgument("dataset has empty dimensions");
+  }
+  if (ds.params.k <= 0) {
+    return Status::InvalidArgument("params.k must be positive");
+  }
+  if (config.max_epochs < 1) {
+    return Status::InvalidArgument("max_epochs must be >= 1");
+  }
+  if (config.eval_threads < 1) {
+    return Status::InvalidArgument("eval_threads must be >= 1");
+  }
+  if (config.hardware.speed_variability < 0.0) {
+    return Status::InvalidArgument("speed_variability must be >= 0");
+  }
+  const Algorithm algo = config.algorithm;
+  const int nc = config.hardware.num_cpu_threads;
+  const int ng = config.hardware.num_gpus;
+  const bool wants_cpu = algo != Algorithm::kGpuOnly;
+  const bool wants_gpu = algo != Algorithm::kCpuOnly;
+  if (wants_cpu && nc < 1) {
+    return Status::InvalidArgument(
+        StrFormat("%s needs at least 1 CPU thread, got %d",
+                  AlgorithmName(algo), nc));
+  }
+  if (wants_gpu && ng < 1) {
+    return Status::InvalidArgument(StrFormat(
+        "%s needs at least 1 GPU, got %d", AlgorithmName(algo), ng));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Session::Session(Dataset dataset, TrainConfig config)
+    : dataset_(std::move(dataset)), config_(config) {}
+
+Session::~Session() = default;
+
+StatusOr<std::unique_ptr<Session>> Session::Create(Dataset dataset,
+                                                   TrainConfig config) {
+  HSGD_RETURN_IF_ERROR(ValidateConfig(dataset, config));
+  std::unique_ptr<Session> session(
+      new Session(std::move(dataset), config));
+  HSGD_RETURN_IF_ERROR(session->Init());
+  return session;
+}
+
+Status Session::Init() {
+  Stopwatch wall;
+  const Algorithm algo = config_.algorithm;
+  const int nc = config_.hardware.num_cpu_threads;
+  const int ng = config_.hardware.num_gpus;
+  const bool wants_cpu = algo != Algorithm::kGpuOnly;
+  const bool wants_gpu = algo != Algorithm::kCpuOnly;
+  const int k = dataset_.params.k;
+  const int32_t rows = dataset_.num_rows;
+  const int32_t cols = dataset_.num_cols;
+  const int64_t n = dataset_.train_size();
+  is_star_ = algo == Algorithm::kHsgdStar;
+
+  // Per-run device speed draw. The cost model below always plans with the
+  // nominal specs — the gap between plan and reality is what the dynamic
+  // phase corrects.
+  Rng var_rng(config_.seed, 17);
+  drawn_cpu_spec_ = config_.hardware.cpu;
+  drawn_gpu_spec_ = config_.hardware.gpu;
+  if (config_.hardware.speed_variability > 0.0) {
+    drawn_cpu_spec_.speed_factor *=
+        std::exp(config_.hardware.speed_variability * var_rng.Gaussian());
+    drawn_gpu_spec_.speed_factor *=
+        std::exp(config_.hardware.speed_variability * var_rng.Gaussian());
+  }
+
+  // ---- Block division and scheduler -------------------------------------
+  Rng shuffle_rng(config_.seed, 2);
+  Grid grid;
+  planned_alpha_ = 0.0;
+  if (is_star_) {
+    Profiler profiler(config_.hardware.gpu, config_.hardware.cpu, k);
+    auto cost_model = profiler.BuildHsgdModel(dataset_);
+    if (!cost_model.ok()) return cost_model.status();
+    if (kStripesPerGpu * ng + nc > cols) {
+      return Status::InvalidArgument(
+          StrFormat("HSGD* needs %d column stripes but matrix has only %d "
+                    "columns",
+                    kStripesPerGpu * ng + nc, cols));
+    }
+    // Spare CPU stripes keep the pool over-decomposed: threads route
+    // around locked columns, an idle GPU can steal from a *free* stripe
+    // (stealing from a busy one could only displace its owner), and the
+    // epoch tail stays parallel — with stripes ~= threads, the wind-down
+    // convoys on the last few pending columns and CPU utilization craters.
+    int spare = std::max(2, nc);
+    spare = std::min<int64_t>(spare, cols - kStripesPerGpu * ng - nc);
+    const int cpu_stripes = nc + std::max(0, spare);
+    const int gpu_stripes = kStripesPerGpu * ng;
+    // Row strata: enough for every worker to hold one with slack left
+    // over (or the dynamic phase could never find a runnable block to
+    // steal), up to 2x the worker count on big inputs — but never so many
+    // that blocks collapse below a useful granule (tiny blocks drown in
+    // kernel-launch overhead and CPU warm-up).
+    const int64_t block_target = 600;
+    const int64_t p_by_size =
+        n / ((static_cast<int64_t>(gpu_stripes) + cpu_stripes) *
+             block_target);
+    const int p = ClampStrata(
+        static_cast<int>(std::max<int64_t>(
+            std::min<int64_t>(2 * (nc + ng), p_by_size), nc + ng + 2)),
+        rows);
+    AlphaQuery query;
+    query.epoch_nnz = n;
+    query.num_cpu_threads = nc;
+    query.num_gpus = ng;
+    query.row_strata = p;
+    query.stripes_per_gpu = kStripesPerGpu;
+    query.num_cpu_stripes = cpu_stripes;
+    query.num_rows = rows;
+    query.num_cols = cols;
+    planned_alpha_ = cost_model->DecideAlpha(config_.cost_model, query);
+    std::vector<double> shares;
+    shares.reserve(static_cast<size_t>(gpu_stripes + cpu_stripes));
+    for (int g = 0; g < gpu_stripes; ++g) {
+      shares.push_back(planned_alpha_ / gpu_stripes);
+    }
+    for (int t = 0; t < cpu_stripes; ++t) {
+      shares.push_back((1.0 - planned_alpha_) / cpu_stripes);
+    }
+    auto grid_or =
+        BuildGridWithColShares(dataset_.train, rows, cols, p, shares);
+    if (!grid_or.ok()) return grid_or.status();
+    grid = *std::move(grid_or);
+  } else {
+    int want = algo == Algorithm::kCpuOnly ? nc
+               : algo == Algorithm::kGpuOnly ? ng
+                                             : nc + ng;
+    auto grid_or = BuildBalancedGrid(dataset_.train, rows, cols,
+                                     ClampStrata(want, rows),
+                                     ClampStrata(want, cols));
+    if (!grid_or.ok()) return grid_or.status();
+    grid = *std::move(grid_or);
+  }
+
+  auto matrix_or = BlockedMatrix::Build(dataset_.train, grid, &shuffle_rng);
+  if (!matrix_or.ok()) return matrix_or.status();
+  matrix_ = *std::move(matrix_or);
+
+  if (is_star_) {
+    StarSchedulerOptions opts;
+    opts.num_gpu_stripes = kStripesPerGpu * ng;
+    opts.num_cpu_stripes =
+        matrix_.grid().num_col_strata() - kStripesPerGpu * ng;
+    opts.stripes_per_gpu = kStripesPerGpu;
+    opts.dynamic = config_.dynamic_scheduling;
+    // Cost-aware gate on CPU-side stealing: an excursion into a GPU
+    // stripe pays one D2H for the stripe's resident column factors.
+    // That is worth it when a few stolen block-sweeps amortize the
+    // transfer; when the factors outweigh the work (small blocks, fat
+    // stripes) the "help" would lengthen the epoch instead.
+    {
+      PcieLink link(drawn_gpu_spec_);
+      CpuDevice probe(drawn_cpu_spec_, k);
+      const double gpu_block_nnz =
+          planned_alpha_ * static_cast<double>(n) /
+          (kStripesPerGpu * ng * matrix_.grid().num_row_strata());
+      const int64_t col_bytes =
+          static_cast<int64_t>(matrix_.grid().ColStratumWidth(0)) * k * 4;
+      const double pull =
+          link.TransferTime(col_bytes, TransferDirection::kDeviceToHost);
+      const double sweep =
+          probe.UpdateTime(static_cast<int64_t>(gpu_block_nnz));
+      opts.allow_cpu_steals = pull < 3.0 * sweep;
+    }
+    scheduler_ = std::make_unique<StarScheduler>(
+        &matrix_, &matrix_.grid(), opts, Rng(config_.seed, 3));
+  } else {
+    scheduler_ = std::make_unique<UniformScheduler>(
+        &matrix_, &matrix_.grid(), UniformSchedulerOptions{},
+        Rng(config_.seed, 3));
+  }
+
+  // ---- Simulated workers -------------------------------------------------
+  cpu_device_ = std::make_unique<CpuDevice>(drawn_cpu_spec_, k);
+  // PCIe cost of a CPU thread pulling a GPU-resident column stripe when
+  // it steals from the GPU region (see the steal branch in RunEpoch).
+  steal_link_ = std::make_unique<PcieLink>(drawn_gpu_spec_);
+  if (wants_cpu) {
+    for (int t = 0; t < nc; ++t) {
+      Worker w;
+      w.info = {DeviceClass::kCpuThread, t,
+                static_cast<int>(workers_.size())};
+      workers_.push_back(w);
+    }
+  }
+  if (wants_gpu) {
+    for (int g = 0; g < ng; ++g) {
+      gpu_devices_.push_back(
+          std::make_unique<GpuDevice>(drawn_gpu_spec_, k,
+                                      /*pipelined=*/true));
+      Worker w;
+      w.info = {DeviceClass::kGpu, g, static_cast<int>(workers_.size())};
+      w.gpu = gpu_devices_.back().get();
+      workers_.push_back(w);
+    }
+  }
+
+  // ---- Real model and evaluation ----------------------------------------
+  RatingStats train_stats = ComputeStats(dataset_.train);
+  model_ = std::make_unique<Model>(rows, cols, k);
+  Rng model_rng(config_.seed, 1);
+  model_->InitRandom(&model_rng, train_stats.mean_rating);
+  eval_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(
+      std::min(16, std::max(1, config_.eval_threads))));
+
+  wall_seconds_ += wall.Seconds();
+  return Status::Ok();
+}
+
+bool Session::Done() const {
+  if (config_.use_dataset_target && reached_target_) return true;
+  return epochs_run_ >= config_.max_epochs;
+}
+
+void Session::AddObserver(EpochObserver* observer) {
+  HSGD_CHECK(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void Session::RemoveObserver(EpochObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
+// Notifications iterate a snapshot so a callback may add or remove
+// observers (including itself) without invalidating the live iteration.
+void Session::NotifyEpochBegin(int epoch) {
+  const std::vector<EpochObserver*> snapshot = observers_;
+  for (EpochObserver* o : snapshot) o->OnEpochBegin(*this, epoch);
+}
+
+void Session::NotifyEpochEnd(const TracePoint& point) {
+  const std::vector<EpochObserver*> snapshot = observers_;
+  for (EpochObserver* o : snapshot) o->OnEpochEnd(*this, point);
+}
+
+void Session::NotifyTargetReached(const TracePoint& point) {
+  const std::vector<EpochObserver*> snapshot = observers_;
+  for (EpochObserver* o : snapshot) o->OnTargetReached(*this, point);
+}
+
+StatusOr<TracePoint> Session::RunEpoch() {
+  if (Done()) {
+    return Status::FailedPrecondition(
+        reached_target_ ? "session already reached the dataset target"
+                        : "session already ran its epoch budget");
+  }
+  Stopwatch wall;
+  const Algorithm algo = config_.algorithm;
+  const int ng = config_.hardware.num_gpus;
+  const int k = dataset_.params.k;
+  const int epoch = epochs_run_ + 1;
+  const int num_workers = static_cast<int>(workers_.size());
+  const Grid& grid = matrix_.grid();
+
+  NotifyEpochBegin(epoch);
+  scheduler_->BeginEpoch();
+  const SimTime epoch_start = clock_;
+
+  // Resident-factor uploads. GPU-Only keeps everything in device memory
+  // (one initial upload); HSGD* re-syncs each GPU's column stripe at
+  // every epoch boundary.
+  for (int g = 0; g < static_cast<int>(gpu_devices_.size()); ++g) {
+    int64_t bytes = 0;
+    if (algo == Algorithm::kGpuOnly && epoch == 1) {
+      // Every GPU keeps the full P and Q resident, so each pays the
+      // full upload.
+      bytes = (static_cast<int64_t>(dataset_.num_rows) +
+               dataset_.num_cols) *
+              k * 4;
+    } else if (is_star_) {
+      for (int s = 0; s < kStripesPerGpu; ++s) {
+        bytes += static_cast<int64_t>(
+                     grid.ColStratumWidth(g * kStripesPerGpu + s)) *
+                 k * 4;
+      }
+    }
+    if (bytes > 0) gpu_devices_[g]->Upload(epoch_start, bytes);
+  }
+
+  SgdHyper hyper;
+  hyper.learning_rate = dataset_.params.learning_rate /
+                        (1.0f + 0.05f * static_cast<float>(epoch - 1));
+  hyper.lambda_p = dataset_.params.lambda_p;
+  hyper.lambda_q = dataset_.params.lambda_q;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> pq;
+  int64_t seq = 0;
+  for (int w = 0; w < num_workers; ++w) {
+    Event e;
+    e.time = epoch_start;
+    e.kind = 1;
+    e.seq = seq++;
+    e.worker = w;
+    pq.push(e);
+  }
+  std::vector<char> waiting(static_cast<size_t>(num_workers), 0);
+  SimTime epoch_end = epoch_start;
+  // Cross-device column-stripe coherence during the dynamic phase:
+  // the first CPU steal from a GPU stripe pulls its resident column
+  // factors to the host (one D2H per excursion, not per block); the
+  // stripe is then dirty, and the owning GPU re-uploads it if it
+  // comes back before the epoch-boundary sync.
+  std::vector<char> stripe_on_host(
+      static_cast<size_t>(is_star_ ? kStripesPerGpu * ng : 0), 0);
+  std::vector<char> stripe_dirty(stripe_on_host.size(), 0);
+
+  auto try_acquire = [&](int w, SimTime now) {
+    auto task = scheduler_->Acquire(workers_[w].info, now);
+    if (!task.has_value()) {
+      if (!scheduler_->EpochDone()) waiting[static_cast<size_t>(w)] = 1;
+      return;
+    }
+    // The real update: the simulator decided *when*, the kernel does
+    // the arithmetic.
+    SgdUpdateBlock(model_.get(), matrix_.BlockRatings(task->block), hyper);
+
+    SimTime finish, next_free, proc;
+    if (workers_[w].gpu != nullptr) {
+      GpuWorkItem item;
+      item.nnz = task->nnz;
+      item.rows = grid.RowStratumWidth(task->row);
+      // Column factors ride along unless resident: GPU-Only keeps all
+      // of Q on device; HSGD* keeps the GPU's own stripe resident —
+      // except when a stealing CPU dirtied the host copy, which costs
+      // the GPU one re-upload of the stripe.
+      bool resident_cols =
+          algo == Algorithm::kGpuOnly ||
+          (is_star_ &&
+           task->col / kStripesPerGpu == workers_[w].info.device_index &&
+           task->col < kStripesPerGpu * ng);
+      if (resident_cols && is_star_ &&
+          stripe_dirty[static_cast<size_t>(task->col)]) {
+        resident_cols = false;
+        stripe_dirty[static_cast<size_t>(task->col)] = 0;
+        stripe_on_host[static_cast<size_t>(task->col)] = 0;
+      }
+      item.cols = resident_cols ? 0 : grid.ColStratumWidth(task->col);
+      if (algo == Algorithm::kGpuOnly) item.rows = 0;  // P resident too
+      PipelineTiming t = workers_[w].gpu->Process(now, item);
+
+      // The worker is free to fetch its next block as soon as this
+      // kernel launches — that H2D rides under the running kernel,
+      // which is exactly the overlap Eq. 9 credits the GPU with.
+      next_free = t.kernel_start;
+      // Resident blocks release at kernel end: their column factors
+      // never leave the device, and the row factors' D2H is tracked on
+      // the device's transfer stream. Traveling (stolen / uniform)
+      // blocks hold their strata until the factors are back on host.
+      finish = resident_cols ? t.kernel_done : t.d2h_done;
+      proc = t.kernel_done - t.h2d_start;
+      gpu_nnz_ += task->nnz;
+    } else {
+      proc = cpu_device_->UpdateTime(task->nnz);
+      // A CPU thread stealing from a GPU-resident stripe must first
+      // pull the current column factors off the device — one D2H per
+      // excursion (later blocks of the same stripe reuse the host
+      // copy); the stripe becomes dirty for the owning GPU.
+      if (is_star_ && task->stolen && task->col < kStripesPerGpu * ng) {
+        const size_t s = static_cast<size_t>(task->col);
+        if (!stripe_on_host[s]) {
+          const int64_t col_bytes =
+              static_cast<int64_t>(grid.ColStratumWidth(task->col)) * k *
+              4;
+          proc += steal_link_->TransferTime(
+              col_bytes, TransferDirection::kDeviceToHost);
+          stripe_on_host[s] = 1;
+        }
+        stripe_dirty[s] = 1;
+      }
+      finish = now + proc;
+      next_free = finish;
+    }
+    const double duration = std::max(proc, 1e-12);
+    ++duration_count_;
+    duration_sum_ += duration;
+    duration_sumsq_ += duration * duration;
+    ++total_tasks_;
+    total_nnz_processed_ += task->nnz;
+
+    Event release;
+    release.time = finish;
+    release.kind = 0;
+    release.seq = seq++;
+    release.worker = w;
+    release.task = *task;
+    pq.push(release);
+    Event ready;
+    ready.time = next_free;
+    ready.kind = 1;
+    ready.seq = seq++;
+    ready.worker = w;
+    pq.push(ready);
+  };
+
+  while (!scheduler_->EpochDone()) {
+    HSGD_CHECK(!pq.empty())
+        << "simulation deadlock: pending blocks but no events";
+    Event e = pq.top();
+    pq.pop();
+    if (e.kind == 0) {
+      scheduler_->Release(workers_[e.worker].info, e.task, e.time);
+      epoch_end = std::max(epoch_end, e.time);
+      // Freed strata may unblock starved workers.
+      for (int w = 0; w < num_workers; ++w) {
+        if (!waiting[static_cast<size_t>(w)]) continue;
+        waiting[static_cast<size_t>(w)] = 0;
+        Event retry;
+        retry.time = e.time;
+        retry.kind = 1;
+        retry.seq = seq++;
+        retry.worker = w;
+        pq.push(retry);
+      }
+    } else {
+      try_acquire(e.worker, e.time);
+    }
+  }
+  clock_ = epoch_end;  // epoch barrier: evaluate, then start together
+
+  double train_rmse = Rmse(*model_, dataset_.train, eval_pool_.get());
+  double test_rmse = dataset_.test.empty()
+                         ? train_rmse
+                         : Rmse(*model_, dataset_.test, eval_pool_.get());
+  TracePoint point;
+  point.epoch = epoch;
+  point.time = clock_;
+  point.test_rmse = test_rmse;
+  point.train_rmse = train_rmse;
+  assert(trace_.points.empty() || trace_.points.back().epoch < point.epoch);
+  trace_.points.push_back(point);
+  epochs_run_ = epoch;
+  const bool reached_now =
+      config_.use_dataset_target && test_rmse <= dataset_.target_rmse;
+  if (reached_now) reached_target_ = true;
+  wall_seconds_ += wall.Seconds();
+  NotifyEpochEnd(point);
+  if (reached_now) NotifyTargetReached(point);
+  return point;
+}
+
+Status Session::RunToCompletion() {
+  while (!Done()) {
+    auto point = RunEpoch();
+    if (!point.ok()) return point.status();
+  }
+  return Status::Ok();
+}
+
+TrainStats Session::stats() const {
+  TrainStats stats;
+  stats.reached_target = reached_target_;
+  stats.sim_seconds = clock_;
+  stats.stolen_by_gpus = scheduler_->stolen_by_gpus();
+  stats.stolen_by_cpus = scheduler_->stolen_by_cpus();
+  stats.block_tasks = total_tasks_;
+  switch (config_.algorithm) {
+    case Algorithm::kCpuOnly: stats.alpha = 0.0; break;
+    case Algorithm::kGpuOnly: stats.alpha = 1.0; break;
+    case Algorithm::kHsgd:
+      stats.alpha =
+          total_nnz_processed_ > 0
+              ? static_cast<double>(gpu_nnz_) / total_nnz_processed_
+              : 0.0;
+      break;
+    case Algorithm::kHsgdStar: stats.alpha = planned_alpha_; break;
+  }
+  if (duration_count_ > 1) {
+    const double mean =
+        duration_sum_ / static_cast<double>(duration_count_);
+    const double var = std::max(
+        0.0,
+        duration_sumsq_ / static_cast<double>(duration_count_) -
+            mean * mean);
+    stats.update_rate_cv = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+  }
+  stats.wall_seconds = wall_seconds_;
+  return stats;
+}
+
+// ---- Checkpoint / restore -------------------------------------------------
+
+Status Session::SaveCheckpoint(const std::string& path) const {
+  SessionCheckpoint ckpt;
+  ckpt.config = config_;
+  ckpt.dataset = FingerprintDataset(dataset_);
+  ckpt.epochs_run = epochs_run_;
+  ckpt.reached_target = reached_target_;
+  ckpt.sim_clock = clock_;
+  ckpt.wall_seconds = wall_seconds_;
+  ckpt.block_tasks = total_tasks_;
+  ckpt.gpu_nnz = gpu_nnz_;
+  ckpt.total_nnz_processed = total_nnz_processed_;
+  ckpt.duration_count = duration_count_;
+  ckpt.duration_sum = duration_sum_;
+  ckpt.duration_sumsq = duration_sumsq_;
+  ckpt.scheduler_rng = scheduler_->rng_state();
+  ckpt.stolen_by_gpus = scheduler_->stolen_by_gpus();
+  ckpt.stolen_by_cpus = scheduler_->stolen_by_cpus();
+  ckpt.gpu_streams.reserve(gpu_devices_.size());
+  for (const auto& gpu : gpu_devices_) {
+    ckpt.gpu_streams.push_back(gpu->stream_state());
+  }
+  ckpt.trace = trace_.points;
+  ckpt.p.assign(model_->p_data(), model_->p_data() + model_->p_size());
+  ckpt.q.assign(model_->q_data(), model_->q_data() + model_->q_size());
+  return WriteCheckpoint(path, ckpt);
+}
+
+StatusOr<std::unique_ptr<Session>> Session::Restore(const std::string& path,
+                                                    Dataset dataset) {
+  auto ckpt = ReadCheckpoint(path);
+  if (!ckpt.ok()) return ckpt.status();
+  DatasetFingerprint fp = FingerprintDataset(dataset);
+  if (fp != ckpt->dataset) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint '%s' was written for a different dataset "
+        "(stored %dx%d k=%d nnz=%lld, got %dx%d k=%d nnz=%lld)",
+        path.c_str(), ckpt->dataset.num_rows, ckpt->dataset.num_cols,
+        ckpt->dataset.k, static_cast<long long>(ckpt->dataset.train_nnz),
+        fp.num_rows, fp.num_cols, fp.k,
+        static_cast<long long>(fp.train_nnz)));
+  }
+  auto session = Create(std::move(dataset), ckpt->config);
+  if (!session.ok()) return session.status();
+  HSGD_RETURN_IF_ERROR((*session)->InstallCheckpoint(*ckpt));
+  return session;
+}
+
+Status Session::InstallCheckpoint(const SessionCheckpoint& ckpt) {
+  if (ckpt.p.size() != model_->p_size() ||
+      ckpt.q.size() != model_->q_size()) {
+    return Status::InvalidArgument(
+        "checkpoint factor matrices do not match the session's model "
+        "dimensions");
+  }
+  if (ckpt.gpu_streams.size() != gpu_devices_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint GPU count does not match the session's device fleet");
+  }
+  if (ckpt.epochs_run < 0 || ckpt.epochs_run > config_.max_epochs ||
+      static_cast<size_t>(ckpt.epochs_run) != ckpt.trace.size()) {
+    return Status::InvalidArgument(
+        "checkpoint epoch counter disagrees with its trace");
+  }
+  std::copy(ckpt.p.begin(), ckpt.p.end(), model_->p_data());
+  std::copy(ckpt.q.begin(), ckpt.q.end(), model_->q_data());
+  scheduler_->set_rng_state(ckpt.scheduler_rng);
+  scheduler_->set_steal_counters(ckpt.stolen_by_gpus, ckpt.stolen_by_cpus);
+  for (size_t g = 0; g < gpu_devices_.size(); ++g) {
+    gpu_devices_[g]->set_stream_state(ckpt.gpu_streams[g]);
+  }
+  trace_.points = ckpt.trace;
+  epochs_run_ = ckpt.epochs_run;
+  reached_target_ = ckpt.reached_target;
+  clock_ = ckpt.sim_clock;
+  wall_seconds_ = ckpt.wall_seconds;
+  total_tasks_ = ckpt.block_tasks;
+  gpu_nnz_ = ckpt.gpu_nnz;
+  total_nnz_processed_ = ckpt.total_nnz_processed;
+  duration_count_ = ckpt.duration_count;
+  duration_sum_ = ckpt.duration_sum;
+  duration_sumsq_ = ckpt.duration_sumsq;
+  return Status::Ok();
+}
+
+}  // namespace hsgd

@@ -1,0 +1,273 @@
+// Session: the stateful training engine behind heterogeneous SGD matrix
+// factorization. Where the legacy `Trainer::Train` ran to completion and
+// threw its internal state away, a Session keeps the whole execution —
+// scheduler, simulated device fleet, virtual clock, RNG streams, factor
+// model — alive across epochs, so callers can:
+//
+//   - drive training stepwise (`RunEpoch()` advances one simulated epoch
+//     and returns its TracePoint),
+//   - watch progress without owning the loop (`EpochObserver`),
+//   - inspect mid-run state (`Done()`, `stats()`, `model()`, `trace()`),
+//   - persist and resume long runs (`SaveCheckpoint()` / `Restore()`,
+//     bit-identical to an uninterrupted run — see core/checkpoint.h),
+//   - serve the trained factors (core/recommender.h builds on `model()`).
+//
+// Real SGD arithmetic updates the factors (honest RMSE curves); a
+// discrete-event loop over simulated CPU threads and GPUs decides when
+// each block runs and what the virtual clock reads. Same seed + same
+// config => bit-identical traces, whether the epochs were run in one
+// process or across a checkpoint boundary.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/model.h"
+#include "core/types.h"
+#include "sched/blocked_matrix.h"
+#include "sched/scheduler.h"
+#include "sim/cpu_device.h"
+#include "sim/device_spec.h"
+#include "sim/gpu_device.h"
+#include "sim/pcie_link.h"
+#include "sim/profiler.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace hsgd {
+
+enum class Algorithm {
+  kCpuOnly = 0,
+  kGpuOnly = 1,
+  kHsgd = 2,
+  kHsgdStar = 3,
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+struct HardwareConfig {
+  int num_cpu_threads = 16;
+  int num_gpus = 1;
+  CpuDeviceSpec cpu;
+  GpuDeviceSpec gpu;
+  /// Lognormal sigma of the per-run device speed draw (run-to-run
+  /// hardware variability; 0 disables it). The cost model always plans
+  /// with nominal speeds — correcting the resulting misprediction is the
+  /// dynamic phase's job (Table III).
+  double speed_variability = 0.25;
+};
+
+struct TrainConfig {
+  Algorithm algorithm = Algorithm::kHsgdStar;
+  HardwareConfig hardware;
+  int max_epochs = 30;
+  uint64_t seed = 1;
+  /// Stop as soon as test RMSE reaches the dataset's target (vs always
+  /// running the full epoch budget).
+  bool use_dataset_target = true;
+  CostModelKind cost_model = CostModelKind::kOurs;
+  /// HSGD*'s dynamic work-stealing phase (off = HSGD*-M).
+  bool dynamic_scheduling = true;
+  /// Real threads used for RMSE evaluation (not simulated).
+  int eval_threads = 8;
+};
+
+struct TracePoint {
+  int epoch = 0;
+  SimTime time = 0.0;
+  double test_rmse = 0.0;
+  double train_rmse = 0.0;
+};
+
+struct Trace {
+  std::vector<TracePoint> points;
+
+  /// Simulated time of the first epoch whose test RMSE <= `rmse`.
+  /// Returns kSimTimeNever when no epoch got there — in particular for an
+  /// empty trace (no epochs run yet), which is a legal query, not an
+  /// error. Debug builds additionally assert the points are
+  /// epoch-monotone (strictly increasing epoch numbers).
+  SimTime TimeToReach(double rmse) const;
+};
+
+struct TrainStats {
+  bool reached_target = false;
+  SimTime sim_seconds = 0.0;
+  /// GPU share of the work: the cost model's split for HSGD*, the
+  /// measured share otherwise.
+  double alpha = 0.0;
+  int64_t stolen_by_gpus = 0;
+  int64_t stolen_by_cpus = 0;
+  /// Coefficient of variation of per-block processing times — the
+  /// Example 3 imbalance measure (high under uniform division with
+  /// heterogeneous devices, low under HSGD*'s equal-time blocks).
+  double update_rate_cv = 0.0;
+  int64_t block_tasks = 0;
+  /// Real time spent inside Create/RunEpoch so far, for curiosity. The
+  /// only stats field that is *not* reproducible across runs or across a
+  /// checkpoint/restore boundary.
+  double wall_seconds = 0.0;
+};
+
+struct TrainResult {
+  Trace trace;
+  TrainStats stats;
+};
+
+class Session;
+struct SessionCheckpoint;  // core/checkpoint.h
+
+/// Callback interface for watching a session's progress without owning
+/// the epoch loop (bench output, serving-side refresh hooks, progress
+/// bars). Observers are borrowed, not owned, and are invoked synchronously
+/// from inside RunEpoch on the calling thread. They are not serialized
+/// into checkpoints — re-attach after Restore.
+class EpochObserver {
+ public:
+  virtual ~EpochObserver() = default;
+  /// Fired before epoch `epoch` (1-based) starts simulating.
+  virtual void OnEpochBegin(const Session& session, int epoch) {
+    (void)session;
+    (void)epoch;
+  }
+  /// Fired after the epoch's barrier + RMSE evaluation, with its trace
+  /// point. The session's trace/stats already include this epoch.
+  virtual void OnEpochEnd(const Session& session, const TracePoint& point) {
+    (void)session;
+    (void)point;
+  }
+  /// Fired at most once, when test RMSE first reaches the dataset target
+  /// (only under config.use_dataset_target). Follows OnEpochEnd for the
+  /// same epoch.
+  virtual void OnTargetReached(const Session& session,
+                               const TracePoint& point) {
+    (void)session;
+    (void)point;
+  }
+};
+
+class Session {
+ public:
+  /// Validates `config` against `dataset` (Status on any inconsistency:
+  /// empty data, non-positive rank, no workers for the chosen algorithm,
+  /// too few columns for the HSGD* stripe layout, ...), then builds the
+  /// full execution state: profiler-fit cost model and nonuniform grid
+  /// for HSGD*, blocked matrix, scheduler, device fleet, factor model.
+  /// The dataset is taken by value and owned by the session.
+  static StatusOr<std::unique_ptr<Session>> Create(Dataset dataset,
+                                                   TrainConfig config);
+
+  /// Rebuilds a session from a checkpoint written by SaveCheckpoint.
+  /// `dataset` must be the same data the checkpointed session was
+  /// trained on (verified via a stored fingerprint); the TrainConfig is
+  /// restored from the checkpoint. The resumed session reproduces the
+  /// uninterrupted run's remaining TracePoints and final TrainStats
+  /// bit-for-bit (wall_seconds excepted).
+  static StatusOr<std::unique_ptr<Session>> Restore(const std::string& path,
+                                                    Dataset dataset);
+
+  ~Session();
+
+  /// Advance one simulated epoch: schedule and run every block through
+  /// the device fleet in virtual time, apply the real SGD updates, then
+  /// evaluate RMSE at the epoch barrier. Returns the epoch's TracePoint.
+  /// FailedPrecondition once Done().
+  StatusOr<TracePoint> RunEpoch();
+
+  /// Drive RunEpoch until Done(). Equivalent to the legacy
+  /// Trainer::Train loop.
+  Status RunToCompletion();
+
+  /// True when the epoch budget is exhausted or (under
+  /// config.use_dataset_target) the dataset's target RMSE was reached.
+  bool Done() const;
+
+  /// Completed epochs so far (also the `epoch` of the latest TracePoint).
+  int epochs_run() const { return epochs_run_; }
+  /// Virtual clock after the last completed epoch barrier.
+  SimTime sim_clock() const { return clock_; }
+  const Trace& trace() const { return trace_; }
+  /// Aggregate statistics over the epochs run so far; callable mid-run.
+  TrainStats stats() const;
+  /// The live factor model (updated in place every epoch). Valid for the
+  /// session's lifetime; pair with core/recommender.h for top-k serving.
+  const Model& model() const { return *model_; }
+  const Dataset& dataset() const { return dataset_; }
+  const TrainConfig& config() const { return config_; }
+  /// The cost model's planned GPU work share (HSGD* only; 0 otherwise).
+  double planned_alpha() const { return planned_alpha_; }
+
+  /// Observers are borrowed; callers keep them alive while attached.
+  void AddObserver(EpochObserver* observer);
+  void RemoveObserver(EpochObserver* observer);
+
+  /// Serialize the complete resumable state (config, dataset
+  /// fingerprint, factor matrices, virtual clock, RNG streams, device
+  /// pipeline state, trace, stat accumulators) to `path`. Written via a
+  /// temp file + rename so a crash mid-write never corrupts an existing
+  /// checkpoint. Only legal between epochs (which is the only time a
+  /// session is observable anyway).
+  Status SaveCheckpoint(const std::string& path) const;
+
+ private:
+  /// A simulated worker: one CPU thread or one GPU (gpu != nullptr).
+  struct Worker {
+    WorkerInfo info;
+    GpuDevice* gpu = nullptr;
+  };
+
+  Session(Dataset dataset, TrainConfig config);
+
+  /// Deterministic construction of the execution state from (dataset,
+  /// config): device speed draw, cost model + grid, blocked matrix,
+  /// scheduler, workers, model init. Shared by Create and Restore — a
+  /// restored session first rebuilds exactly what Create built, then
+  /// overwrites the evolving state from the checkpoint.
+  Status Init();
+  Status InstallCheckpoint(const SessionCheckpoint& checkpoint);
+
+  void NotifyEpochBegin(int epoch);
+  void NotifyEpochEnd(const TracePoint& point);
+  void NotifyTargetReached(const TracePoint& point);
+
+  Dataset dataset_;
+  TrainConfig config_;
+
+  // ---- Fixed execution state (deterministic from dataset + config) ----
+  bool is_star_ = false;
+  double planned_alpha_ = 0.0;
+  CpuDeviceSpec drawn_cpu_spec_;  // after the per-run variability draw
+  GpuDeviceSpec drawn_gpu_spec_;
+  BlockedMatrix matrix_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<CpuDevice> cpu_device_;
+  std::unique_ptr<PcieLink> steal_link_;
+  std::vector<std::unique_ptr<GpuDevice>> gpu_devices_;
+  std::vector<Worker> workers_;
+  std::unique_ptr<ThreadPool> eval_pool_;
+
+  // ---- Evolving state (persisted by SaveCheckpoint) -------------------
+  std::unique_ptr<Model> model_;
+  SimTime clock_ = 0.0;
+  int epochs_run_ = 0;
+  bool reached_target_ = false;
+  Trace trace_;
+  int64_t total_tasks_ = 0;
+  int64_t gpu_nnz_ = 0;
+  int64_t total_nnz_processed_ = 0;
+  /// Streaming moments of per-block processing times (count/sum/sum of
+  /// squares) for update_rate_cv — streamed rather than stored so the
+  /// stat survives checkpointing in O(1) space and resumes bit-exactly.
+  int64_t duration_count_ = 0;
+  double duration_sum_ = 0.0;
+  double duration_sumsq_ = 0.0;
+  double wall_seconds_ = 0.0;
+
+  std::vector<EpochObserver*> observers_;
+};
+
+}  // namespace hsgd

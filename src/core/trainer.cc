@@ -1,478 +1,15 @@
 #include "core/trainer.h"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
-#include <queue>
-
-#include "sched/star_scheduler.h"
-#include "sched/uniform_scheduler.h"
-#include "sim/cpu_device.h"
-#include "sim/gpu_device.h"
-#include "util/logging.h"
-#include "util/stopwatch.h"
-#include "util/strings.h"
-#include "util/thread_pool.h"
-
 namespace hsgd {
-
-const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kCpuOnly: return "CPU-Only";
-    case Algorithm::kGpuOnly: return "GPU-Only";
-    case Algorithm::kHsgd: return "HSGD";
-    case Algorithm::kHsgdStar: return "HSGD*";
-  }
-  return "unknown";
-}
-
-SimTime Trace::TimeToReach(double rmse) const {
-  for (const TracePoint& p : points) {
-    if (p.test_rmse <= rmse) return p.time;
-  }
-  return kSimTimeNever;
-}
-
-namespace {
-
-struct SimWorker {
-  WorkerInfo info;
-  GpuDevice* gpu = nullptr;  // null => CPU thread
-};
-
-/// Heap events: a worker's task completing (kind 0, releases strata) or a
-/// worker becoming ready to acquire (kind 1). Releases sort before
-/// acquires at equal times so freed strata are visible; seq keeps the
-/// order fully deterministic.
-struct Event {
-  SimTime time = 0.0;
-  int kind = 1;
-  int64_t seq = 0;
-  int worker = 0;
-  BlockTask task;
-};
-
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    if (a.kind != b.kind) return a.kind > b.kind;
-    return a.seq > b.seq;
-  }
-};
-
-int ClampStrata(int want, int64_t dim) {
-  return static_cast<int>(
-      std::max<int64_t>(1, std::min<int64_t>(want, dim)));
-}
-
-/// Resident column stripes per GPU under HSGD*. Two, not one: the GPU
-/// finishes one stripe before opening the next, so a lagging GPU always
-/// has a free (yet resident) stripe that idle CPU threads can steal from.
-constexpr int kStripesPerGpu = 2;
-
-}  // namespace
 
 StatusOr<TrainResult> Trainer::Train(const Dataset& ds,
                                      const TrainConfig& config) {
-  Stopwatch wall;
-  if (ds.train.empty()) {
-    return Status::InvalidArgument("dataset has no training ratings");
-  }
-  if (ds.num_rows <= 0 || ds.num_cols <= 0) {
-    return Status::InvalidArgument("dataset has empty dimensions");
-  }
-  if (ds.params.k <= 0) {
-    return Status::InvalidArgument("params.k must be positive");
-  }
-  if (config.max_epochs < 1) {
-    return Status::InvalidArgument("max_epochs must be >= 1");
-  }
-  const Algorithm algo = config.algorithm;
-  const int nc = config.hardware.num_cpu_threads;
-  const int ng = config.hardware.num_gpus;
-  const bool wants_cpu = algo != Algorithm::kGpuOnly;
-  const bool wants_gpu = algo != Algorithm::kCpuOnly;
-  if (wants_cpu && nc < 1) {
-    return Status::InvalidArgument(
-        StrFormat("%s needs at least 1 CPU thread, got %d",
-                  AlgorithmName(algo), nc));
-  }
-  if (wants_gpu && ng < 1) {
-    return Status::InvalidArgument(StrFormat(
-        "%s needs at least 1 GPU, got %d", AlgorithmName(algo), ng));
-  }
-
-  const int k = ds.params.k;
-  const int32_t rows = ds.num_rows;
-  const int32_t cols = ds.num_cols;
-  const int64_t n = ds.train_size();
-
-  // Per-run device speed draw. The cost model below always plans with the
-  // nominal specs — the gap between plan and reality is what the dynamic
-  // phase corrects.
-  Rng var_rng(config.seed, 17);
-  CpuDeviceSpec cpu_spec = config.hardware.cpu;
-  GpuDeviceSpec gpu_spec = config.hardware.gpu;
-  if (config.hardware.speed_variability > 0.0) {
-    cpu_spec.speed_factor *=
-        std::exp(config.hardware.speed_variability * var_rng.Gaussian());
-    gpu_spec.speed_factor *=
-        std::exp(config.hardware.speed_variability * var_rng.Gaussian());
-  }
-
-  // ---- Block division and scheduler -------------------------------------
-  Rng shuffle_rng(config.seed, 2);
-  Grid grid;
-  double planned_alpha = 0.0;
-  const bool is_star = algo == Algorithm::kHsgdStar;
-  if (is_star) {
-    Profiler profiler(config.hardware.gpu, config.hardware.cpu, k);
-    auto cost_model = profiler.BuildHsgdModel(ds);
-    if (!cost_model.ok()) return cost_model.status();
-    if (kStripesPerGpu * ng + nc > cols) {
-      return Status::InvalidArgument(
-          StrFormat("HSGD* needs %d column stripes but matrix has only %d "
-                    "columns",
-                    kStripesPerGpu * ng + nc, cols));
-    }
-    // Spare CPU stripes keep the pool over-decomposed: threads route
-    // around locked columns, an idle GPU can steal from a *free* stripe
-    // (stealing from a busy one could only displace its owner), and the
-    // epoch tail stays parallel — with stripes ~= threads, the wind-down
-    // convoys on the last few pending columns and CPU utilization craters.
-    int spare = std::max(2, nc);
-    spare = std::min<int64_t>(spare, cols - kStripesPerGpu * ng - nc);
-    const int cpu_stripes = nc + std::max(0, spare);
-    const int gpu_stripes = kStripesPerGpu * ng;
-    // Row strata: enough for every worker to hold one with slack left
-    // over (or the dynamic phase could never find a runnable block to
-    // steal), up to 2x the worker count on big inputs — but never so many
-    // that blocks collapse below a useful granule (tiny blocks drown in
-    // kernel-launch overhead and CPU warm-up).
-    const int64_t block_target = 600;
-    const int64_t p_by_size =
-        n / ((static_cast<int64_t>(gpu_stripes) + cpu_stripes) *
-             block_target);
-    const int p = ClampStrata(
-        static_cast<int>(std::max<int64_t>(
-            std::min<int64_t>(2 * (nc + ng), p_by_size), nc + ng + 2)),
-        rows);
-    AlphaQuery query;
-    query.epoch_nnz = n;
-    query.num_cpu_threads = nc;
-    query.num_gpus = ng;
-    query.row_strata = p;
-    query.stripes_per_gpu = kStripesPerGpu;
-    query.num_cpu_stripes = cpu_stripes;
-    query.num_rows = rows;
-    query.num_cols = cols;
-    planned_alpha = cost_model->DecideAlpha(config.cost_model, query);
-    std::vector<double> shares;
-    shares.reserve(static_cast<size_t>(gpu_stripes + cpu_stripes));
-    for (int g = 0; g < gpu_stripes; ++g) {
-      shares.push_back(planned_alpha / gpu_stripes);
-    }
-    for (int t = 0; t < cpu_stripes; ++t) {
-      shares.push_back((1.0 - planned_alpha) / cpu_stripes);
-    }
-    auto grid_or = BuildGridWithColShares(ds.train, rows, cols, p, shares);
-    if (!grid_or.ok()) return grid_or.status();
-    grid = *std::move(grid_or);
-  } else {
-    int want = algo == Algorithm::kCpuOnly ? nc
-               : algo == Algorithm::kGpuOnly ? ng
-                                             : nc + ng;
-    auto grid_or = BuildBalancedGrid(ds.train, rows, cols,
-                                     ClampStrata(want, rows),
-                                     ClampStrata(want, cols));
-    if (!grid_or.ok()) return grid_or.status();
-    grid = *std::move(grid_or);
-  }
-
-  auto matrix_or = BlockedMatrix::Build(ds.train, grid, &shuffle_rng);
-  if (!matrix_or.ok()) return matrix_or.status();
-  BlockedMatrix matrix = *std::move(matrix_or);
-
-  std::unique_ptr<Scheduler> scheduler;
-  if (is_star) {
-    StarSchedulerOptions opts;
-    opts.num_gpu_stripes = kStripesPerGpu * ng;
-    opts.num_cpu_stripes = grid.num_col_strata() - kStripesPerGpu * ng;
-    opts.stripes_per_gpu = kStripesPerGpu;
-    opts.dynamic = config.dynamic_scheduling;
-    // Cost-aware gate on CPU-side stealing: an excursion into a GPU
-    // stripe pays one D2H for the stripe's resident column factors.
-    // That is worth it when a few stolen block-sweeps amortize the
-    // transfer; when the factors outweigh the work (small blocks, fat
-    // stripes) the "help" would lengthen the epoch instead.
-    {
-      PcieLink link(gpu_spec);
-      CpuDevice probe(cpu_spec, k);
-      const double gpu_block_nnz =
-          planned_alpha * static_cast<double>(n) /
-          (kStripesPerGpu * ng * grid.num_row_strata());
-      const int64_t col_bytes =
-          static_cast<int64_t>(grid.ColStratumWidth(0)) * k * 4;
-      const double pull =
-          link.TransferTime(col_bytes, TransferDirection::kDeviceToHost);
-      const double sweep =
-          probe.UpdateTime(static_cast<int64_t>(gpu_block_nnz));
-      opts.allow_cpu_steals = pull < 3.0 * sweep;
-    }
-    scheduler = std::make_unique<StarScheduler>(
-        &matrix, &matrix.grid(), opts, Rng(config.seed, 3));
-  } else {
-    scheduler = std::make_unique<UniformScheduler>(
-        &matrix, &matrix.grid(), UniformSchedulerOptions{},
-        Rng(config.seed, 3));
-  }
-
-  // ---- Simulated workers -------------------------------------------------
-  CpuDevice cpu_device(cpu_spec, k);
-  // PCIe cost of a CPU thread pulling a GPU-resident column stripe when
-  // it steals from the GPU region (see the steal branch below).
-  PcieLink steal_link(gpu_spec);
-  std::vector<std::unique_ptr<GpuDevice>> gpu_devices;
-  std::vector<SimWorker> workers;
-  if (wants_cpu) {
-    for (int t = 0; t < nc; ++t) {
-      SimWorker w;
-      w.info = {DeviceClass::kCpuThread, t,
-                static_cast<int>(workers.size())};
-      workers.push_back(w);
-    }
-  }
-  if (wants_gpu) {
-    for (int g = 0; g < ng; ++g) {
-      gpu_devices.push_back(
-          std::make_unique<GpuDevice>(gpu_spec, k, /*pipelined=*/true));
-      SimWorker w;
-      w.info = {DeviceClass::kGpu, g, static_cast<int>(workers.size())};
-      w.gpu = gpu_devices.back().get();
-      workers.push_back(w);
-    }
-  }
-  const int num_workers = static_cast<int>(workers.size());
-
-  // ---- Real model and evaluation ----------------------------------------
-  RatingStats train_stats = ComputeStats(ds.train);
-  Model model(rows, cols, k);
-  Rng model_rng(config.seed, 1);
-  model.InitRandom(&model_rng, train_stats.mean_rating);
-  ThreadPool eval_pool(static_cast<size_t>(
-      std::min(16, std::max(1, config.eval_threads))));
-
-  // ---- Event-driven epochs ----------------------------------------------
+  auto session = Session::Create(ds, config);
+  if (!session.ok()) return session.status();
+  HSGD_RETURN_IF_ERROR((*session)->RunToCompletion());
   TrainResult result;
-  SimTime clock = 0.0;
-  std::vector<double> durations;
-  int64_t gpu_nnz = 0;
-  int64_t total_nnz_processed = 0;
-  int64_t total_tasks = 0;
-  bool reached = false;
-
-  for (int epoch = 1; epoch <= config.max_epochs; ++epoch) {
-    scheduler->BeginEpoch();
-    const SimTime epoch_start = clock;
-
-    // Resident-factor uploads. GPU-Only keeps everything in device memory
-    // (one initial upload); HSGD* re-syncs each GPU's column stripe at
-    // every epoch boundary.
-    for (int g = 0; g < static_cast<int>(gpu_devices.size()); ++g) {
-      int64_t bytes = 0;
-      if (algo == Algorithm::kGpuOnly && epoch == 1) {
-        // Every GPU keeps the full P and Q resident, so each pays the
-        // full upload.
-        bytes = (static_cast<int64_t>(rows) + cols) * k * 4;
-      } else if (is_star) {
-        for (int s = 0; s < kStripesPerGpu; ++s) {
-          bytes += static_cast<int64_t>(
-                       grid.ColStratumWidth(g * kStripesPerGpu + s)) *
-                   k * 4;
-        }
-      }
-      if (bytes > 0) gpu_devices[g]->Upload(epoch_start, bytes);
-    }
-
-    SgdHyper hyper;
-    hyper.learning_rate = ds.params.learning_rate /
-                          (1.0f + 0.05f * static_cast<float>(epoch - 1));
-    hyper.lambda_p = ds.params.lambda_p;
-    hyper.lambda_q = ds.params.lambda_q;
-
-    std::priority_queue<Event, std::vector<Event>, EventLater> pq;
-    int64_t seq = 0;
-    for (int w = 0; w < num_workers; ++w) {
-      Event e;
-      e.time = epoch_start;
-      e.kind = 1;
-      e.seq = seq++;
-      e.worker = w;
-      pq.push(e);
-    }
-    std::vector<char> waiting(static_cast<size_t>(num_workers), 0);
-    SimTime epoch_end = epoch_start;
-    // Cross-device column-stripe coherence during the dynamic phase:
-    // the first CPU steal from a GPU stripe pulls its resident column
-    // factors to the host (one D2H per excursion, not per block); the
-    // stripe is then dirty, and the owning GPU re-uploads it if it
-    // comes back before the epoch-boundary sync.
-    std::vector<char> stripe_on_host(
-        static_cast<size_t>(is_star ? kStripesPerGpu * ng : 0), 0);
-    std::vector<char> stripe_dirty(stripe_on_host.size(), 0);
-
-    auto try_acquire = [&](int w, SimTime now) {
-      auto task = scheduler->Acquire(workers[w].info, now);
-      if (!task.has_value()) {
-        if (!scheduler->EpochDone()) waiting[static_cast<size_t>(w)] = 1;
-        return;
-      }
-      // The real update: the simulator decided *when*, the kernel does
-      // the arithmetic.
-      SgdUpdateBlock(&model, matrix.BlockRatings(task->block), hyper);
-
-      SimTime finish, next_free, proc;
-      if (workers[w].gpu != nullptr) {
-        GpuWorkItem item;
-        item.nnz = task->nnz;
-        item.rows = grid.RowStratumWidth(task->row);
-        // Column factors ride along unless resident: GPU-Only keeps all
-        // of Q on device; HSGD* keeps the GPU's own stripe resident —
-        // except when a stealing CPU dirtied the host copy, which costs
-        // the GPU one re-upload of the stripe.
-        bool resident_cols =
-            algo == Algorithm::kGpuOnly ||
-            (is_star &&
-             task->col / kStripesPerGpu == workers[w].info.device_index &&
-             task->col < kStripesPerGpu * ng);
-        if (resident_cols && is_star &&
-            stripe_dirty[static_cast<size_t>(task->col)]) {
-          resident_cols = false;
-          stripe_dirty[static_cast<size_t>(task->col)] = 0;
-          stripe_on_host[static_cast<size_t>(task->col)] = 0;
-        }
-        item.cols = resident_cols ? 0 : grid.ColStratumWidth(task->col);
-        if (algo == Algorithm::kGpuOnly) item.rows = 0;  // P resident too
-        PipelineTiming t = workers[w].gpu->Process(now, item);
-
-        // The worker is free to fetch its next block as soon as this
-        // kernel launches — that H2D rides under the running kernel,
-        // which is exactly the overlap Eq. 9 credits the GPU with.
-        next_free = t.kernel_start;
-        // Resident blocks release at kernel end: their column factors
-        // never leave the device, and the row factors' D2H is tracked on
-        // the device's transfer stream. Traveling (stolen / uniform)
-        // blocks hold their strata until the factors are back on host.
-        finish = resident_cols ? t.kernel_done : t.d2h_done;
-        proc = t.kernel_done - t.h2d_start;
-        gpu_nnz += task->nnz;
-      } else {
-        proc = cpu_device.UpdateTime(task->nnz);
-        // A CPU thread stealing from a GPU-resident stripe must first
-        // pull the current column factors off the device — one D2H per
-        // excursion (later blocks of the same stripe reuse the host
-        // copy); the stripe becomes dirty for the owning GPU.
-        if (is_star && task->stolen && task->col < kStripesPerGpu * ng) {
-          const size_t s = static_cast<size_t>(task->col);
-          if (!stripe_on_host[s]) {
-            const int64_t col_bytes =
-                static_cast<int64_t>(grid.ColStratumWidth(task->col)) * k *
-                4;
-            proc += steal_link.TransferTime(
-                col_bytes, TransferDirection::kDeviceToHost);
-            stripe_on_host[s] = 1;
-          }
-          stripe_dirty[s] = 1;
-        }
-        finish = now + proc;
-        next_free = finish;
-      }
-      durations.push_back(std::max(proc, 1e-12));
-      ++total_tasks;
-      total_nnz_processed += task->nnz;
-
-      Event release;
-      release.time = finish;
-      release.kind = 0;
-      release.seq = seq++;
-      release.worker = w;
-      release.task = *task;
-      pq.push(release);
-      Event ready;
-      ready.time = next_free;
-      ready.kind = 1;
-      ready.seq = seq++;
-      ready.worker = w;
-      pq.push(ready);
-    };
-
-    while (!scheduler->EpochDone()) {
-      HSGD_CHECK(!pq.empty())
-          << "simulation deadlock: pending blocks but no events";
-      Event e = pq.top();
-      pq.pop();
-      if (e.kind == 0) {
-        scheduler->Release(workers[e.worker].info, e.task, e.time);
-        epoch_end = std::max(epoch_end, e.time);
-        // Freed strata may unblock starved workers.
-        for (int w = 0; w < num_workers; ++w) {
-          if (!waiting[static_cast<size_t>(w)]) continue;
-          waiting[static_cast<size_t>(w)] = 0;
-          Event retry;
-          retry.time = e.time;
-          retry.kind = 1;
-          retry.seq = seq++;
-          retry.worker = w;
-          pq.push(retry);
-        }
-      } else {
-        try_acquire(e.worker, e.time);
-      }
-    }
-    clock = epoch_end;  // epoch barrier: evaluate, then start together
-
-    double train_rmse = Rmse(model, ds.train, &eval_pool);
-    double test_rmse =
-        ds.test.empty() ? train_rmse : Rmse(model, ds.test, &eval_pool);
-    TracePoint point;
-    point.epoch = epoch;
-    point.time = clock;
-    point.test_rmse = test_rmse;
-    point.train_rmse = train_rmse;
-    result.trace.points.push_back(point);
-    if (config.use_dataset_target && test_rmse <= ds.target_rmse) {
-      reached = true;
-      break;
-    }
-  }
-
-  // ---- Stats -------------------------------------------------------------
-  TrainStats& stats = result.stats;
-  stats.reached_target = reached;
-  stats.sim_seconds = clock;
-  stats.stolen_by_gpus = scheduler->stolen_by_gpus();
-  stats.stolen_by_cpus = scheduler->stolen_by_cpus();
-  stats.block_tasks = total_tasks;
-  switch (algo) {
-    case Algorithm::kCpuOnly: stats.alpha = 0.0; break;
-    case Algorithm::kGpuOnly: stats.alpha = 1.0; break;
-    case Algorithm::kHsgd:
-      stats.alpha = total_nnz_processed > 0
-                        ? static_cast<double>(gpu_nnz) / total_nnz_processed
-                        : 0.0;
-      break;
-    case Algorithm::kHsgdStar: stats.alpha = planned_alpha; break;
-  }
-  if (durations.size() > 1) {
-    double mean = 0.0;
-    for (double d : durations) mean += d;
-    mean /= static_cast<double>(durations.size());
-    double var = 0.0;
-    for (double d : durations) var += (d - mean) * (d - mean);
-    var /= static_cast<double>(durations.size());
-    stats.update_rate_cv = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
-  }
-  stats.wall_seconds = wall.Seconds();
+  result.trace = (*session)->trace();
+  result.stats = (*session)->stats();
   return result;
 }
 

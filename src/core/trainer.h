@@ -1,103 +1,27 @@
-// Trainer: runs heterogeneous SGD matrix factorization end to end in
-// simulated time. Real SGD arithmetic updates the factors (honest RMSE
-// curves); a discrete-event loop over simulated CPU threads and GPUs
-// decides when each block runs and what the virtual clock reads.
+// Legacy one-shot training facade.
 //
-// Algorithms (the paper's comparison set):
-//   kCpuOnly   - nc threads on a balanced nc x nc grid.
-//   kGpuOnly   - GPUs only, factors resident in device memory.
-//   kHsgd      - uniform division, GPU treated as one more worker.
-//   kHsgdStar  - nonuniform division from the profiler-driven cost model,
-//                plus the dynamic work-stealing phase.
+// DEPRECATED: Trainer::Train is a thin wrapper that creates an
+// hsgd::Session, drives it to completion, and returns the final trace and
+// stats. New code should use core/session.h directly — it exposes the
+// same engine stepwise (RunEpoch), with observers, mid-run inspection,
+// checkpoint/resume (core/checkpoint.h), and a serving facade over the
+// trained factors (core/recommender.h). This header remains so existing
+// callers keep compiling; the config/trace/stats vocabulary now lives in
+// core/session.h.
 
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
 #include "core/dataset.h"
-#include "core/model.h"
-#include "core/types.h"
-#include "sim/device_spec.h"
-#include "sim/profiler.h"
+#include "core/session.h"
 #include "util/status.h"
 
 namespace hsgd {
 
-enum class Algorithm {
-  kCpuOnly = 0,
-  kGpuOnly = 1,
-  kHsgd = 2,
-  kHsgdStar = 3,
-};
-
-const char* AlgorithmName(Algorithm algorithm);
-
-struct HardwareConfig {
-  int num_cpu_threads = 16;
-  int num_gpus = 1;
-  CpuDeviceSpec cpu;
-  GpuDeviceSpec gpu;
-  /// Lognormal sigma of the per-run device speed draw (run-to-run
-  /// hardware variability; 0 disables it). The cost model always plans
-  /// with nominal speeds — correcting the resulting misprediction is the
-  /// dynamic phase's job (Table III).
-  double speed_variability = 0.25;
-};
-
-struct TrainConfig {
-  Algorithm algorithm = Algorithm::kHsgdStar;
-  HardwareConfig hardware;
-  int max_epochs = 30;
-  uint64_t seed = 1;
-  /// Stop as soon as test RMSE reaches the dataset's target (vs always
-  /// running the full epoch budget).
-  bool use_dataset_target = true;
-  CostModelKind cost_model = CostModelKind::kOurs;
-  /// HSGD*'s dynamic work-stealing phase (off = HSGD*-M).
-  bool dynamic_scheduling = true;
-  /// Real threads used for RMSE evaluation (not simulated).
-  int eval_threads = 8;
-};
-
-struct TracePoint {
-  int epoch = 0;
-  SimTime time = 0.0;
-  double test_rmse = 0.0;
-  double train_rmse = 0.0;
-};
-
-struct Trace {
-  std::vector<TracePoint> points;
-
-  /// Simulated time of the first epoch whose test RMSE <= `rmse`;
-  /// kSimTimeNever when no epoch got there.
-  SimTime TimeToReach(double rmse) const;
-};
-
-struct TrainStats {
-  bool reached_target = false;
-  SimTime sim_seconds = 0.0;
-  /// GPU share of the work: the cost model's split for HSGD*, the
-  /// measured share otherwise.
-  double alpha = 0.0;
-  int64_t stolen_by_gpus = 0;
-  int64_t stolen_by_cpus = 0;
-  /// Coefficient of variation of per-block processing times — the
-  /// Example 3 imbalance measure (high under uniform division with
-  /// heterogeneous devices, low under HSGD*'s equal-time blocks).
-  double update_rate_cv = 0.0;
-  int64_t block_tasks = 0;
-  double wall_seconds = 0.0;  // real time spent, for curiosity
-};
-
-struct TrainResult {
-  Trace trace;
-  TrainStats stats;
-};
-
 class Trainer {
  public:
+  /// Runs a full training session to completion (copying `ds` into the
+  /// session) and returns its trace + stats. Equivalent to
+  /// Session::Create + RunToCompletion; prefer the Session API.
   static StatusOr<TrainResult> Train(const Dataset& ds,
                                      const TrainConfig& config);
 };

@@ -4,8 +4,8 @@
 
 namespace hsgd {
 
-Scheduler::Scheduler(const BlockedMatrix* matrix, const Grid* grid)
-    : matrix_(matrix), grid_(grid) {
+Scheduler::Scheduler(const BlockedMatrix* matrix, const Grid* grid, Rng rng)
+    : matrix_(matrix), grid_(grid), rng_(rng) {
   HSGD_CHECK(matrix != nullptr && grid != nullptr);
   row_busy_.assign(static_cast<size_t>(grid->num_row_strata()), 0);
   col_busy_.assign(static_cast<size_t>(grid->num_col_strata()), 0);

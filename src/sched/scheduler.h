@@ -64,8 +64,19 @@ class Scheduler {
   int64_t stolen_by_gpus() const { return stolen_by_gpus_; }
   int64_t stolen_by_cpus() const { return stolen_by_cpus_; }
 
+  /// Checkpoint hooks: the policy RNG and steal tallies are the only
+  /// scheduler state that survives an epoch boundary (strata locks and
+  /// done bits reset in BeginEpoch), so persisting them plus rebuilding
+  /// the scheduler from config reproduces it exactly.
+  RngState rng_state() const { return rng_.SaveState(); }
+  void set_rng_state(const RngState& state) { rng_.RestoreState(state); }
+  void set_steal_counters(int64_t by_gpus, int64_t by_cpus) {
+    stolen_by_gpus_ = by_gpus;
+    stolen_by_cpus_ = by_cpus;
+  }
+
  protected:
-  Scheduler(const BlockedMatrix* matrix, const Grid* grid);
+  Scheduler(const BlockedMatrix* matrix, const Grid* grid, Rng rng);
 
   bool BlockRunnable(int row, int col) const;
   /// Locks strata, flags `stolen` bookkeeping; returns the filled task.
@@ -74,6 +85,9 @@ class Scheduler {
 
   const BlockedMatrix* matrix_;
   const Grid* grid_;
+  /// Policy RNG shared by the concrete schedulers (held here so the
+  /// session checkpointer can reach it through the base pointer).
+  Rng rng_;
   /// Hold counts per stratum (a column can be held twice, but only by
   /// the same worker — see col_owner_).
   std::vector<int> row_busy_;

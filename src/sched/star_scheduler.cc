@@ -6,7 +6,7 @@ namespace hsgd {
 
 StarScheduler::StarScheduler(const BlockedMatrix* matrix, const Grid* grid,
                              StarSchedulerOptions options, Rng rng)
-    : Scheduler(matrix, grid), options_(options), rng_(rng) {
+    : Scheduler(matrix, grid, rng), options_(options) {
   HSGD_CHECK(options_.num_gpu_stripes + options_.num_cpu_stripes ==
              grid->num_col_strata())
       << "stripe counts (" << options_.num_gpu_stripes << " gpu + "

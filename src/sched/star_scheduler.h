@@ -70,7 +70,6 @@ class StarScheduler : public Scheduler {
   int PickStripe(int begin, int end, int skip, int* row) const;
 
   StarSchedulerOptions options_;
-  Rng rng_;
 };
 
 }  // namespace hsgd

@@ -5,7 +5,7 @@ namespace hsgd {
 UniformScheduler::UniformScheduler(const BlockedMatrix* matrix,
                                    const Grid* grid,
                                    UniformSchedulerOptions options, Rng rng)
-    : Scheduler(matrix, grid), options_(options), rng_(rng) {}
+    : Scheduler(matrix, grid, rng), options_(options) {}
 
 std::optional<BlockTask> UniformScheduler::Acquire(const WorkerInfo& worker,
                                                    SimTime now) {

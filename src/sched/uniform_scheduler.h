@@ -24,7 +24,6 @@ class UniformScheduler : public Scheduler {
 
  private:
   UniformSchedulerOptions options_;
-  Rng rng_;
 };
 
 }  // namespace hsgd

@@ -44,6 +44,15 @@ struct GpuWorkItem {
   int64_t cols = 0;
 };
 
+/// The device's only cross-epoch state: when each of the three pipeline
+/// streams next becomes free. Persisted by the session checkpointer so a
+/// restored run resumes with identical pipeline occupancy.
+struct GpuStreamState {
+  SimTime h2d_free = 0.0;
+  SimTime kernel_free = 0.0;
+  SimTime d2h_free = 0.0;
+};
+
 struct PipelineTiming {
   SimTime h2d_start = 0.0;
   SimTime h2d_done = 0.0;
@@ -69,6 +78,15 @@ class GpuDevice {
   const SimtKernelModel& kernel_model() const { return kernel_; }
   const PcieLink& link() const { return link_; }
   int k() const { return k_; }
+
+  GpuStreamState stream_state() const {
+    return {h2d_free_, kernel_free_, d2h_free_};
+  }
+  void set_stream_state(const GpuStreamState& state) {
+    h2d_free_ = state.h2d_free;
+    kernel_free_ = state.kernel_free;
+    d2h_free_ = state.d2h_free;
+  }
 
   /// Host<->device bytes for a rating triple / one factor vector.
   static int64_t RatingBytes() { return 12; }

@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/logging.h"
@@ -33,6 +34,49 @@ Status CliFlags::Parse(int argc, char** argv) {
     }
   }
   return Status::Ok();
+}
+
+Status CliFlags::Parse(int argc, char** argv,
+                       const std::vector<FlagSpec>& known) {
+  HSGD_RETURN_IF_ERROR(Parse(argc, argv));
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (name == "help") continue;
+    bool found = false;
+    for (const FlagSpec& spec : known) {
+      if (spec.name == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown flag --" + name +
+                                     "; run with --help to list the "
+                                     "accepted flags");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string FormatFlagTable(const std::vector<FlagSpec>& specs) {
+  size_t widest = std::string("--help").size();
+  std::vector<std::string> left;
+  left.reserve(specs.size());
+  for (const FlagSpec& spec : specs) {
+    std::string entry = "--" + spec.name;
+    if (!spec.value_hint.empty()) entry += "=" + spec.value_hint;
+    widest = std::max(widest, entry.size());
+    left.push_back(std::move(entry));
+  }
+  std::string out = "Flags:\n";
+  for (size_t i = 0; i < specs.size(); ++i) {
+    out += "  " + left[i] +
+           std::string(widest - left[i].size() + 2, ' ') + specs[i].help +
+           "\n";
+  }
+  out += "  --help" + std::string(widest - 6 + 2, ' ') +
+         "print this flag table and exit\n";
+  return out;
 }
 
 bool CliFlags::Has(const std::string& name) const {

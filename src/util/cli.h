@@ -1,22 +1,49 @@
 // Tiny --flag=value command line parser.
 //
 // Accepted forms: --name=value, --name value, --name (boolean true), and
-// the single-dash spellings of the same. Unknown flags are fine — callers
-// query by name with a default. Positional arguments are rejected.
+// the single-dash spellings of the same. Positional arguments are
+// rejected. Two parsing modes:
+//
+//   Parse(argc, argv)         permissive — any flag name is accepted;
+//                             callers query by name with a default.
+//   Parse(argc, argv, known)  strict — a flag not in `known` is an error
+//                             naming the offending flag (so a typo'd
+//                             --epoch=5 fails loudly instead of silently
+//                             running the default budget). "--help" is
+//                             always accepted in strict mode.
+//
+// FormatFlagTable renders the `known` registry as the --help text.
 
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
 namespace hsgd {
 
+/// One entry of a strict-mode flag registry: the flag's name (without
+/// dashes), a short value placeholder for the help text (e.g. "<mult>";
+/// empty for bare booleans), and a one-line description.
+struct FlagSpec {
+  std::string name;
+  std::string value_hint;
+  std::string help;
+};
+
+/// Render the registry as an aligned help table, one flag per line.
+std::string FormatFlagTable(const std::vector<FlagSpec>& specs);
+
 class CliFlags {
  public:
+  /// Permissive parse: unknown flags are stored like any other.
   Status Parse(int argc, char** argv);
+  /// Strict parse: any flag whose name is not in `known` (and is not
+  /// "help") is an InvalidArgument naming that flag.
+  Status Parse(int argc, char** argv, const std::vector<FlagSpec>& known);
 
   bool Has(const std::string& name) const;
   std::string GetString(const std::string& name,

@@ -10,6 +10,14 @@
 
 namespace hsgd {
 
+/// Complete generator state, exposed so long-running components (the
+/// session checkpointer) can persist and restore an Rng bit-exactly.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_spare = false;
+  double spare = 0.0;
+};
+
 class Rng {
  public:
   /// `stream` decorrelates generators sharing one user seed (model init,
@@ -64,6 +72,20 @@ class Rng {
     spare_ = mag * std::sin(two_pi_u2);
     has_spare_ = true;
     return mag * std::cos(two_pi_u2);
+  }
+
+  RngState SaveState() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.has_spare = has_spare_;
+    st.spare = spare_;
+    return st;
+  }
+
+  void RestoreState(const RngState& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    has_spare_ = st.has_spare;
+    spare_ = st.spare;
   }
 
  private:

@@ -1,0 +1,364 @@
+// Session API tests: stepwise epochs must be bit-identical to the
+// one-shot Trainer::Train facade, checkpoint/restore must reproduce an
+// uninterrupted run exactly, observers must see every epoch, and the
+// Recommender must agree with a brute-force scorer.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/hsgd.h"
+#include "test_main.h"
+
+namespace hsgd {
+namespace {
+
+Dataset SmallDataset(uint64_t seed = 5) {
+  SyntheticSpec spec;
+  spec.num_rows = 600;
+  spec.num_cols = 500;
+  spec.train_nnz = 40000;
+  spec.test_nnz = 4000;
+  spec.params.k = 16;
+  spec.params.learning_rate = 0.01f;
+  spec.noise_stddev = 0.3;
+  auto ds = GenerateSynthetic(spec, seed);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TrainConfig SmallConfig(Algorithm algorithm) {
+  TrainConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.hardware.num_cpu_threads = 4;
+  cfg.hardware.num_gpus = 1;
+  cfg.max_epochs = 5;
+  cfg.use_dataset_target = false;
+  cfg.eval_threads = 2;
+  return cfg;
+}
+
+void ExpectTracePointsEqual(const TracePoint& a, const TracePoint& b) {
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.test_rmse, b.test_rmse);
+  EXPECT_EQ(a.train_rmse, b.train_rmse);
+}
+
+/// Everything but wall_seconds (real time, inherently non-reproducible).
+void ExpectStatsEqual(const TrainStats& a, const TrainStats& b) {
+  EXPECT_EQ(a.reached_target, b.reached_target);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.alpha, b.alpha);
+  EXPECT_EQ(a.stolen_by_gpus, b.stolen_by_gpus);
+  EXPECT_EQ(a.stolen_by_cpus, b.stolen_by_cpus);
+  EXPECT_EQ(a.update_rate_cv, b.update_rate_cv);
+  EXPECT_EQ(a.block_tasks, b.block_tasks);
+}
+
+// (a) N x RunEpoch == one Trainer::Train with max_epochs=N, bit-for-bit.
+void TestStepwiseMatchesOneShot() {
+  Dataset ds = SmallDataset();
+  for (Algorithm algorithm :
+       {Algorithm::kCpuOnly, Algorithm::kGpuOnly, Algorithm::kHsgd,
+        Algorithm::kHsgdStar}) {
+    TrainConfig cfg = SmallConfig(algorithm);
+    auto oneshot = Trainer::Train(ds, cfg);
+    EXPECT_TRUE(oneshot.ok());
+    auto session = Session::Create(ds, cfg);
+    EXPECT_TRUE(session.ok());
+    if (!oneshot.ok() || !session.ok()) continue;
+    int steps = 0;
+    while (!(*session)->Done()) {
+      auto point = (*session)->RunEpoch();
+      EXPECT_TRUE(point.ok());
+      if (!point.ok()) break;
+      ++steps;
+      EXPECT_EQ((*session)->epochs_run(), steps);
+      ExpectTracePointsEqual(*point, oneshot->trace.points[steps - 1]);
+    }
+    EXPECT_EQ(steps, cfg.max_epochs);
+    EXPECT_EQ((*session)->trace().points.size(),
+              oneshot->trace.points.size());
+    ExpectStatsEqual((*session)->stats(), oneshot->stats);
+    // The budget is spent: one more epoch is a FailedPrecondition.
+    EXPECT_FALSE((*session)->RunEpoch().ok());
+  }
+}
+
+// (b) checkpoint at epoch k -> restore -> finish matches the
+// uninterrupted run exactly — trace, stats and virtual clock.
+void TestCheckpointResumeBitIdentical() {
+  const std::string path = "session_test_ckpt.bin";
+  Dataset ds = SmallDataset();
+  // HSGD* with dynamic scheduling on (the acceptance configuration) and
+  // HSGD (whose UniformScheduler consumes the policy RNG every Acquire,
+  // exercising RNG-state restore).
+  for (Algorithm algorithm : {Algorithm::kHsgdStar, Algorithm::kHsgd}) {
+    TrainConfig cfg = SmallConfig(algorithm);
+    cfg.dynamic_scheduling = true;
+    auto reference = Trainer::Train(ds, cfg);
+    EXPECT_TRUE(reference.ok());
+    for (int stop_epoch : {1, 3}) {
+      auto session = Session::Create(ds, cfg);
+      EXPECT_TRUE(session.ok());
+      for (int e = 0; e < stop_epoch; ++e) {
+        EXPECT_TRUE((*session)->RunEpoch().ok());
+      }
+      EXPECT_TRUE((*session)->SaveCheckpoint(path).ok());
+
+      auto resumed = Session::Restore(path, ds);
+      EXPECT_TRUE(resumed.ok());
+      if (!resumed.ok()) continue;
+      EXPECT_EQ((*resumed)->epochs_run(), stop_epoch);
+      EXPECT_EQ((*resumed)->config().max_epochs, cfg.max_epochs);
+      // The restored trace already holds the first k points.
+      for (int e = 0; e < stop_epoch; ++e) {
+        ExpectTracePointsEqual((*resumed)->trace().points[e],
+                               reference->trace.points[e]);
+      }
+      // The remaining epochs reproduce the uninterrupted run exactly.
+      while (!(*resumed)->Done()) {
+        auto point = (*resumed)->RunEpoch();
+        EXPECT_TRUE(point.ok());
+        if (!point.ok()) break;
+        ExpectTracePointsEqual(
+            *point, reference->trace.points[(*resumed)->epochs_run() - 1]);
+      }
+      EXPECT_EQ((*resumed)->trace().points.size(),
+                reference->trace.points.size());
+      ExpectStatsEqual((*resumed)->stats(), reference->stats);
+      EXPECT_EQ((*resumed)->sim_clock(), reference->stats.sim_seconds);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+void TestRestoreRejectsWrongDataset() {
+  const std::string path = "session_test_ckpt_mismatch.bin";
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgdStar);
+  auto session = Session::Create(ds, cfg);
+  EXPECT_TRUE(session.ok());
+  EXPECT_TRUE((*session)->RunEpoch().ok());
+  EXPECT_TRUE((*session)->SaveCheckpoint(path).ok());
+
+  // Same shape, different ratings (different generator seed): rejected.
+  Dataset other = SmallDataset(/*seed=*/6);
+  EXPECT_FALSE(Session::Restore(path, other).ok());
+  // Missing file: rejected.
+  EXPECT_FALSE(Session::Restore("no_such_checkpoint.bin", ds).ok());
+  // The matching dataset restores fine.
+  EXPECT_TRUE(Session::Restore(path, ds).ok());
+
+  // A truncated file is an InvalidArgument, not a crash or bad_alloc.
+  {
+    auto full = ReadCheckpoint(path);
+    EXPECT_TRUE(full.ok());
+    FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_TRUE(f != nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::vector<char> bytes(static_cast<size_t>(size) / 2);
+    std::fseek(f, 0, SEEK_SET);
+    EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+    const std::string truncated = "session_test_ckpt_truncated.bin";
+    FILE* out = std::fopen(truncated.c_str(), "wb");
+    EXPECT_TRUE(out != nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), out);
+    std::fclose(out);
+    EXPECT_FALSE(ReadCheckpoint(truncated).ok());
+    EXPECT_FALSE(Session::Restore(truncated, ds).ok());
+    std::remove(truncated.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+class CountingObserver : public EpochObserver {
+ public:
+  void OnEpochBegin(const Session& session, int epoch) override {
+    (void)session;
+    ++begins;
+    last_begin_epoch = epoch;
+  }
+  void OnEpochEnd(const Session& session, const TracePoint& point) override {
+    // The session already includes this epoch when the callback fires.
+    EXPECT_EQ(session.epochs_run(), point.epoch);
+    EXPECT_EQ(session.trace().points.back().epoch, point.epoch);
+    ++ends;
+    last_end_epoch = point.epoch;
+  }
+  void OnTargetReached(const Session& session,
+                       const TracePoint& point) override {
+    (void)session;
+    ++target_hits;
+    target_epoch = point.epoch;
+  }
+
+  int begins = 0;
+  int ends = 0;
+  int target_hits = 0;
+  int last_begin_epoch = 0;
+  int last_end_epoch = 0;
+  int target_epoch = 0;
+};
+
+void TestObservers() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgdStar);
+  auto session = Session::Create(ds, cfg);
+  EXPECT_TRUE(session.ok());
+  CountingObserver counter;
+  (*session)->AddObserver(&counter);
+  EXPECT_TRUE((*session)->RunToCompletion().ok());
+  EXPECT_EQ(counter.begins, cfg.max_epochs);
+  EXPECT_EQ(counter.ends, cfg.max_epochs);
+  EXPECT_EQ(counter.last_begin_epoch, cfg.max_epochs);
+  EXPECT_EQ(counter.last_end_epoch, cfg.max_epochs);
+  EXPECT_EQ(counter.target_hits, 0);  // use_dataset_target is off
+  (*session)->RemoveObserver(&counter);
+
+  // A trivially reachable target fires OnTargetReached exactly once and
+  // stops the session after one epoch.
+  Dataset easy = SmallDataset();
+  easy.target_rmse = 100.0;
+  TrainConfig easy_cfg = SmallConfig(Algorithm::kCpuOnly);
+  easy_cfg.use_dataset_target = true;
+  auto easy_session = Session::Create(easy, easy_cfg);
+  EXPECT_TRUE(easy_session.ok());
+  CountingObserver easy_counter;
+  (*easy_session)->AddObserver(&easy_counter);
+  EXPECT_TRUE((*easy_session)->RunToCompletion().ok());
+  EXPECT_TRUE((*easy_session)->Done());
+  EXPECT_EQ(easy_counter.ends, 1);
+  EXPECT_EQ(easy_counter.target_hits, 1);
+  EXPECT_EQ(easy_counter.target_epoch, 1);
+  EXPECT_TRUE((*easy_session)->stats().reached_target);
+}
+
+void TestCreateValidation() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kCpuOnly);
+  cfg.hardware.num_cpu_threads = 0;
+  EXPECT_FALSE(Session::Create(ds, cfg).ok());
+  cfg = SmallConfig(Algorithm::kGpuOnly);
+  cfg.hardware.num_gpus = 0;
+  EXPECT_FALSE(Session::Create(ds, cfg).ok());
+  cfg = SmallConfig(Algorithm::kHsgd);
+  cfg.max_epochs = 0;
+  EXPECT_FALSE(Session::Create(ds, cfg).ok());
+  cfg = SmallConfig(Algorithm::kHsgd);
+  cfg.eval_threads = 0;
+  EXPECT_FALSE(Session::Create(ds, cfg).ok());
+  Dataset empty;
+  empty.num_rows = 10;
+  empty.num_cols = 10;
+  EXPECT_FALSE(Session::Create(empty, SmallConfig(Algorithm::kHsgd)).ok());
+}
+
+// (c) Recommender: sorted scores, rated items excluded, agreement with a
+// brute-force scorer.
+void TestRecommenderTopK() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgdStar);
+  cfg.max_epochs = 3;
+  auto session = Session::Create(ds, cfg);
+  EXPECT_TRUE(session.ok());
+  EXPECT_TRUE((*session)->RunToCompletion().ok());
+  const Model& model = (*session)->model();
+  Recommender recommender(&model, ds.train);
+
+  const int k = 10;
+  for (int32_t user : {0, 7, 599}) {
+    auto top = recommender.TopK(user, k);
+    EXPECT_TRUE(top.ok());
+    if (!top.ok()) continue;
+    EXPECT_EQ(top->size(), static_cast<size_t>(k));
+
+    // Scores are sorted descending (ties broken by ascending item id).
+    for (size_t i = 1; i < top->size(); ++i) {
+      const ScoredItem& prev = (*top)[i - 1];
+      const ScoredItem& cur = (*top)[i];
+      EXPECT_TRUE(prev.score > cur.score ||
+                  (prev.score == cur.score && prev.item < cur.item));
+    }
+
+    // Rated items are excluded.
+    std::vector<char> rated(static_cast<size_t>(ds.num_cols), 0);
+    for (const Rating& r : ds.train) {
+      if (r.u == user) rated[static_cast<size_t>(r.v)] = 1;
+    }
+    for (const ScoredItem& item : *top) {
+      EXPECT_FALSE(rated[static_cast<size_t>(item.item)]);
+    }
+
+    // Brute force agreement: same items, same order.
+    std::vector<ScoredItem> all;
+    for (int32_t v = 0; v < ds.num_cols; ++v) {
+      if (rated[static_cast<size_t>(v)]) continue;
+      float score = 0.0f;
+      for (int d = 0; d < model.k(); ++d) {
+        score += model.Row(user)[d] * model.Col(v)[d];
+      }
+      all.push_back({v, score});
+    }
+    std::sort(all.begin(), all.end(),
+              [](const ScoredItem& a, const ScoredItem& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.item < b.item;
+              });
+    for (int i = 0; i < k; ++i) {
+      EXPECT_EQ((*top)[i].item, all[static_cast<size_t>(i)].item);
+      EXPECT_EQ((*top)[i].score, all[static_cast<size_t>(i)].score);
+    }
+  }
+
+  // k past the catalog returns everything unrated, still sorted.
+  auto everything = recommender.TopK(0, ds.num_cols + 50);
+  EXPECT_TRUE(everything.ok());
+  EXPECT_EQ(everything->size(),
+            static_cast<size_t>(ds.num_cols) -
+                static_cast<size_t>(recommender.NumRated(0)));
+
+  // Invalid queries are errors, not crashes.
+  EXPECT_FALSE(recommender.TopK(-1, k).ok());
+  EXPECT_FALSE(recommender.TopK(ds.num_rows, k).ok());
+  EXPECT_FALSE(recommender.TopK(0, 0).ok());
+}
+
+void TestTraceEmptyAndMonotone() {
+  Trace empty;
+  // Documented guard: an empty trace never reaches anything.
+  EXPECT_TRUE(empty.TimeToReach(1e9) >= kSimTimeNever);
+
+  // A fresh session has an empty trace until its first epoch.
+  Dataset ds = SmallDataset();
+  auto session = Session::Create(ds, SmallConfig(Algorithm::kCpuOnly));
+  EXPECT_TRUE(session.ok());
+  EXPECT_TRUE((*session)->trace().points.empty());
+  EXPECT_TRUE((*session)->trace().TimeToReach(1e9) >= kSimTimeNever);
+  EXPECT_TRUE((*session)->RunEpoch().ok());
+  EXPECT_EQ((*session)->trace().points.size(), 1u);
+  EXPECT_TRUE((*session)->trace().TimeToReach(1e9) <
+              kSimTimeNever);
+}
+
+}  // namespace
+
+void RunAllTests() {
+  TestStepwiseMatchesOneShot();
+  TestCheckpointResumeBitIdentical();
+  TestRestoreRejectsWrongDataset();
+  TestObservers();
+  TestCreateValidation();
+  TestRecommenderTopK();
+  TestTraceEmptyAndMonotone();
+}
+
+}  // namespace hsgd
+
+using hsgd::RunAllTests;
+TEST_MAIN()

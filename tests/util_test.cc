@@ -54,6 +54,39 @@ void TestCliFlags() {
   EXPECT_FALSE(bad_flags.Parse(2, const_cast<char**>(bad)).ok());
 }
 
+void TestCliFlagsStrict() {
+  const std::vector<FlagSpec> known = {
+      {"epochs", "<cap>", "epoch budget"},
+      {"seed", "<n>", "RNG seed"},
+  };
+
+  const char* good[] = {"prog", "--epochs=5", "--seed", "9"};
+  CliFlags flags;
+  EXPECT_TRUE(flags.Parse(4, const_cast<char**>(good), known).ok());
+  EXPECT_EQ(flags.GetInt("epochs", 0), 5);
+  EXPECT_EQ(flags.GetInt("seed", 0), 9);
+
+  // The typo'd singular --epoch is an error naming the flag, not a
+  // silent fallback to the default budget.
+  const char* typo[] = {"prog", "--epoch=5"};
+  CliFlags typo_flags;
+  Status st = typo_flags.Parse(2, const_cast<char**>(typo), known);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.message().find("--epoch") != std::string::npos);
+
+  // --help is always accepted in strict mode.
+  const char* help[] = {"prog", "--help"};
+  CliFlags help_flags;
+  EXPECT_TRUE(help_flags.Parse(2, const_cast<char**>(help), known).ok());
+  EXPECT_TRUE(help_flags.GetBool("help", false));
+
+  // The rendered table mentions every registered flag plus --help.
+  std::string table = FormatFlagTable(known);
+  EXPECT_TRUE(table.find("--epochs=<cap>") != std::string::npos);
+  EXPECT_TRUE(table.find("--seed=<n>") != std::string::npos);
+  EXPECT_TRUE(table.find("--help") != std::string::npos);
+}
+
 void TestStatus() {
   Status ok = Status::Ok();
   EXPECT_TRUE(ok.ok());
@@ -134,6 +167,7 @@ void TestStopwatch() {
 void RunAllTests() {
   TestStrings();
   TestCliFlags();
+  TestCliFlagsStrict();
   TestStatus();
   TestRng();
   TestThreadPool();
