@@ -19,11 +19,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/hsgd.h"
+#include "io/loader.h"
 #include "util/cli.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -39,6 +41,11 @@ struct BenchContext {
   int max_epochs = 30;
   uint64_t seed = 1;
   std::vector<DatasetPreset> presets;
+  /// Real dataset loaded via --data/--format; when set, `presets` holds a
+  /// single placeholder entry and MakeBenchDataset returns this instead
+  /// of a synthetic stand-in.
+  std::shared_ptr<Dataset> loaded;
+  std::string data_path;
 };
 
 inline std::vector<FlagSpec> SharedFlagSpecs() {
@@ -52,6 +59,13 @@ inline std::vector<FlagSpec> SharedFlagSpecs() {
       {"datasets", "<a,b>",
        "comma list of presets (default: all four presets)"},
       {"seed", "<n>", "RNG seed (default 1)"},
+      {"data", "<path>",
+       "load real ratings from this file (netflix: file or directory) "
+       "instead of the synthetic presets"},
+      {"format", "<name>",
+       "rating-dump format for --data: movielens, netflix or csv"},
+      {"test-split", "<frac>",
+       "held-out fraction of loaded ratings (default 0.1)"},
   };
 }
 
@@ -83,7 +97,33 @@ inline BenchContext ParseContext(int argc, char** argv,
       static_cast<int>(ctx.flags.GetInt("epochs", default_epochs));
   ctx.seed = static_cast<uint64_t>(ctx.flags.GetInt("seed", 1));
   std::string list = ctx.flags.GetString("datasets", "");
-  if (list.empty()) {
+  std::string data = ctx.flags.GetString("data", "");
+  if (!data.empty()) {
+    HSGD_CHECK(list.empty())
+        << "--data and --datasets are mutually exclusive";
+    auto format = io::FormatByName(ctx.flags.GetString("format", ""));
+    HSGD_CHECK(format.ok())
+        << "--data needs --format={movielens,netflix,csv}: "
+        << format.status().message();
+    io::LoadOptions load_options;
+    load_options.threads = std::max(1, ctx.threads);
+    io::DatasetOptions dataset_options;
+    dataset_options.test_fraction =
+        ctx.flags.GetDouble("test-split", 0.1);
+    auto ds = io::LoadDataset(data, *format, load_options, dataset_options);
+    HSGD_CHECK_OK(ds.status()) << "while loading --data=" << data;
+    ctx.loaded = std::make_shared<Dataset>(*std::move(ds));
+    ctx.data_path = data;
+    // One placeholder preset so bench loops run exactly once; its Table I
+    // parameters are irrelevant (the loaded dataset carries its own).
+    ctx.presets.push_back(*format == io::DataFormat::kNetflix
+                              ? DatasetPreset::kNetflix
+                              : DatasetPreset::kMovieLens);
+  } else if (ctx.flags.Has("format") || ctx.flags.Has("test-split")) {
+    // Same strict-CLI stance as unknown flags: a data flag that silently
+    // does nothing hides a mistake.
+    HSGD_LOG(Fatal) << "--format/--test-split only apply with --data";
+  } else if (list.empty()) {
     ctx.presets.assign(std::begin(kAllPresets), std::end(kAllPresets));
   } else {
     for (const std::string& name : Split(list, ',')) {
@@ -95,14 +135,29 @@ inline BenchContext ParseContext(int argc, char** argv,
   return ctx;
 }
 
-/// \brief Generates the scaled synthetic stand-in for `preset`.
+/// \brief The dataset a bench iteration runs on: the --data load when
+/// present, else the scaled synthetic stand-in for `preset`.
 inline Dataset MakeBenchDataset(DatasetPreset preset,
                                 const BenchContext& ctx) {
+  if (ctx.loaded != nullptr) {
+    // Hand the loaded ratings over rather than copying: a real dump can
+    // be hundreds of MB, and with --data every bench runs exactly one
+    // iteration, so this is the only call. (A second call would build an
+    // empty dataset, which Session::Create rejects loudly.)
+    return std::move(*ctx.loaded);
+  }
   double scale = DefaultBenchScale(preset) * ctx.scale_mult;
   SyntheticSpec spec = ScaledPresetSpec(preset, scale);
   auto ds = GenerateSynthetic(spec, ctx.seed);
   HSGD_CHECK_OK(ds.status());
   return std::move(ds).value();
+}
+
+/// \brief Label for a bench iteration's dataset: the --data path when
+/// loading real ratings, else the preset's name.
+inline std::string DatasetTitle(const BenchContext& ctx,
+                                DatasetPreset preset) {
+  return ctx.loaded != nullptr ? ctx.data_path : PresetName(preset);
 }
 
 /// \brief Baseline TrainConfig matching the paper's experimental setup.

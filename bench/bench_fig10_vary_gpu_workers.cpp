@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
     Dataset ds = MakeBenchDataset(preset, ctx);
     PrintHeader(StrFormat(
         "Fig.10 (%s): time to RMSE<=%.3g vs GPU parallel workers (nc=%d)",
-        PresetName(preset), ds.target_rmse, ctx.threads));
+        DatasetTitle(ctx, preset).c_str(), ds.target_rmse, ctx.threads));
     std::printf("%-10s %12s %12s %12s\n", "W", "CPU-Only(s)",
                 "GPU-Only(s)", "HSGD*(s)");
 

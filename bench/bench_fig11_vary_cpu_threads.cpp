@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     Dataset ds = MakeBenchDataset(preset, ctx);
     PrintHeader(StrFormat(
         "Fig.11 (%s): time to RMSE<=%.3g vs CPU threads (W=%d)",
-        PresetName(preset), ds.target_rmse, ctx.workers));
+        DatasetTitle(ctx, preset).c_str(), ds.target_rmse, ctx.workers));
     std::printf("%-10s %12s %12s %12s\n", "nc", "CPU-Only(s)",
                 "GPU-Only(s)", "HSGD*(s)");
 

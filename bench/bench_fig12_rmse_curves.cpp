@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
     Dataset ds = MakeBenchDataset(preset, ctx);
     PrintHeader(StrFormat("Fig.12 (%s): test RMSE over time  [%d x %d, "
                           "%lld train ratings, target %.3g]",
-                          PresetName(preset), ds.num_rows, ds.num_cols,
+                          DatasetTitle(ctx, preset).c_str(), ds.num_rows, ds.num_cols,
                           static_cast<long long>(ds.train_size()),
                           ds.target_rmse));
     std::printf("%-10s %8s %12s %12s %12s\n", "algorithm", "epoch",

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   for (DatasetPreset preset : ctx.presets) {
     Dataset ds = MakeBenchDataset(preset, ctx);
     PrintHeader(StrFormat("Fig.13 (%s): HSGD vs HSGD* RMSE over time",
-                          PresetName(preset)));
+                          DatasetTitle(ctx, preset).c_str()));
     std::printf("%-10s %8s %12s %12s\n", "algorithm", "epoch", "time(s)",
                 "test-RMSE");
     for (Algorithm algorithm : {Algorithm::kHsgd, Algorithm::kHsgdStar}) {

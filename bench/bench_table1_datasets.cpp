@@ -25,21 +25,26 @@ int main(int argc, char** argv) {
                 s.params.lambda_p, s.params.learning_rate);
   }
 
-  PrintHeader(StrFormat(
-      "Scaled synthetic stand-ins used by this suite (scale x%.3g)",
-      ctx.scale_mult));
+  PrintHeader(ctx.loaded != nullptr
+                  ? std::string("Loaded dataset used by this suite")
+                  : StrFormat("Scaled synthetic stand-ins used by this "
+                              "suite (scale x%.3g)",
+                              ctx.scale_mult));
   std::printf("%-14s %10s %10s %12s %10s %10s %12s %12s\n", "dataset", "m",
               "n", "#Training", "#Test", "mean r", "target", "scale");
-  for (DatasetPreset preset : kAllPresets) {
+  for (DatasetPreset preset : ctx.presets) {
     Dataset ds = MakeBenchDataset(preset, ctx);
     RatingStats stats = ComputeStats(ds.train);
     std::printf("%-14s %10s %10s %12s %10s %10.2f %12.3g %12.4g\n",
-                PresetName(preset), WithThousandsSep(ds.num_rows).c_str(),
+                DatasetTitle(ctx, preset).c_str(),
+                WithThousandsSep(ds.num_rows).c_str(),
                 WithThousandsSep(ds.num_cols).c_str(),
                 WithThousandsSep(ds.train_size()).c_str(),
                 WithThousandsSep(ds.test_size()).c_str(),
                 stats.mean_rating, ds.target_rmse,
-                DefaultBenchScale(preset) * ctx.scale_mult);
+                ctx.loaded != nullptr
+                    ? 1.0
+                    : DefaultBenchScale(preset) * ctx.scale_mult);
   }
   return 0;
 }

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
       ++i;
     }
     std::printf("%-14s %9.2f%% %9.2f%% %12.3f %9.2f%% %9.2f%% %12.3f\n",
-                PresetName(preset), split[0][0], split[0][1], times[0],
+                DatasetTitle(ctx, preset).c_str(), split[0][0], split[0][1], times[0],
                 split[1][0], split[1][1], times[1]);
   }
   return 0;

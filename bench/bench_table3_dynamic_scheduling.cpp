@@ -86,7 +86,8 @@ int main(int argc, char** argv) {
         }
       }
     }
-    std::printf("%-14s %16.3f %14.3f %11.2fx %16s\n", PresetName(preset),
+    std::printf("%-14s %16.3f %14.3f %11.2fx %16s\n",
+                DatasetTitle(ctx, preset).c_str(),
                 times[0], times[1], times[0] / times[1],
                 WithThousandsSep(stolen).c_str());
   }

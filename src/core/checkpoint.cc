@@ -1,5 +1,6 @@
 #include "core/checkpoint.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -11,16 +12,13 @@ namespace hsgd {
 bool DatasetFingerprint::operator==(const DatasetFingerprint& other) const {
   return num_rows == other.num_rows && num_cols == other.num_cols &&
          k == other.k && train_nnz == other.train_nnz &&
-         test_nnz == other.test_nnz && train_hash == other.train_hash;
+         test_nnz == other.test_nnz && train_hash == other.train_hash &&
+         test_hash == other.test_hash;
 }
 
-DatasetFingerprint FingerprintDataset(const Dataset& dataset) {
-  DatasetFingerprint fp;
-  fp.num_rows = dataset.num_rows;
-  fp.num_cols = dataset.num_cols;
-  fp.k = dataset.params.k;
-  fp.train_nnz = dataset.train_size();
-  fp.test_nnz = dataset.test_size();
+namespace {
+
+uint64_t HashRatings(const Ratings& ratings) {
   uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
   auto mix = [&h](const void* data, size_t bytes) {
     const unsigned char* p = static_cast<const unsigned char*>(data);
@@ -29,12 +27,25 @@ DatasetFingerprint FingerprintDataset(const Dataset& dataset) {
       h *= 1099511628211ull;  // FNV prime
     }
   };
-  for (const Rating& r : dataset.train) {
+  for (const Rating& r : ratings) {
     mix(&r.u, sizeof(r.u));
     mix(&r.v, sizeof(r.v));
     mix(&r.r, sizeof(r.r));
   }
-  fp.train_hash = h;
+  return h;
+}
+
+}  // namespace
+
+DatasetFingerprint FingerprintDataset(const Dataset& dataset) {
+  DatasetFingerprint fp;
+  fp.num_rows = dataset.num_rows;
+  fp.num_cols = dataset.num_cols;
+  fp.k = dataset.params.k;
+  fp.train_nnz = dataset.train_size();
+  fp.test_nnz = dataset.test_size();
+  fp.train_hash = HashRatings(dataset.train);
+  fp.test_hash = HashRatings(dataset.test);
   return fp;
 }
 
@@ -110,6 +121,52 @@ void WriteConfig(Writer* w, const TrainConfig& config) {
   w->F64(config.hardware.gpu.speed_factor);
 }
 
+/// Range/finiteness checks on a config read back from disk. The fields
+/// were round-tripped through raw bytes, so a corrupt file can smuggle in
+/// NaN device speeds or a billion-GPU fleet; reject anything a config
+/// could not legitimately hold before Restore rebuilds a session from it.
+Status ValidateStoredConfig(const TrainConfig& c) {
+  const int32_t algo = static_cast<int32_t>(c.algorithm);
+  const int32_t cost = static_cast<int32_t>(c.cost_model);
+  if (algo < static_cast<int32_t>(Algorithm::kCpuOnly) ||
+      algo > static_cast<int32_t>(Algorithm::kHsgdStar) ||
+      cost < static_cast<int32_t>(CostModelKind::kQilin) ||
+      cost > static_cast<int32_t>(CostModelKind::kOurs)) {
+    return Status::InvalidArgument("enum fields");
+  }
+  if (c.max_epochs < 1 || c.max_epochs > (1 << 24) ||
+      c.eval_threads < 1 || c.eval_threads > (1 << 20) ||
+      c.hardware.num_cpu_threads < 0 ||
+      c.hardware.num_cpu_threads > (1 << 20) ||
+      c.hardware.num_gpus < 0 || c.hardware.num_gpus > 4096) {
+    return Status::InvalidArgument("worker counts");
+  }
+  // Physical quantities: rates, bandwidths and speed factors must be
+  // positive and finite; overheads and latencies nonnegative and finite.
+  for (double positive :
+       {c.hardware.cpu.updates_per_sec_k128, c.hardware.cpu.speed_factor,
+        c.hardware.gpu.worker_point_rate_k128, c.hardware.gpu.device_mem_bw,
+        c.hardware.gpu.pcie_h2d_peak_gbps, c.hardware.gpu.pcie_d2h_peak_gbps,
+        c.hardware.gpu.speed_factor}) {
+    if (!std::isfinite(positive) || positive <= 0.0) {
+      return Status::InvalidArgument("device rates");
+    }
+  }
+  for (double nonnegative :
+       {c.hardware.speed_variability, c.hardware.cpu.warmup_nnz,
+        c.hardware.gpu.kernel_launch_overhead,
+        c.hardware.gpu.pcie_latency}) {
+    if (!std::isfinite(nonnegative) || nonnegative < 0.0) {
+      return Status::InvalidArgument("device overheads");
+    }
+  }
+  if (c.hardware.gpu.parallel_workers < 1 ||
+      c.hardware.gpu.parallel_workers > (1 << 20)) {
+    return Status::InvalidArgument("GPU worker count");
+  }
+  return Status::Ok();
+}
+
 TrainConfig ReadConfig(Reader* r) {
   TrainConfig config;
   config.algorithm = static_cast<Algorithm>(r->I32());
@@ -156,6 +213,7 @@ Status WriteCheckpoint(const std::string& path,
   w.I64(ckpt.dataset.train_nnz);
   w.I64(ckpt.dataset.test_nnz);
   w.U64(ckpt.dataset.train_hash);
+  w.U64(ckpt.dataset.test_hash);
   w.I32(ckpt.epochs_run);
   w.U8(ckpt.reached_target ? 1 : 0);
   w.F64(ckpt.sim_clock);
@@ -224,17 +282,13 @@ StatusOr<SessionCheckpoint> ReadCheckpoint(const std::string& path) {
   }
   if (error.ok()) {
     ckpt.config = ReadConfig(&r);
-    // The enums were round-tripped through raw int32s: reject values
-    // outside the known enumerators before they steer Init down the
-    // wrong algorithm branch.
-    const int32_t algo = static_cast<int32_t>(ckpt.config.algorithm);
-    const int32_t cost = static_cast<int32_t>(ckpt.config.cost_model);
-    if (algo < static_cast<int32_t>(Algorithm::kCpuOnly) ||
-        algo > static_cast<int32_t>(Algorithm::kHsgdStar) ||
-        cost < static_cast<int32_t>(CostModelKind::kQilin) ||
-        cost > static_cast<int32_t>(CostModelKind::kOurs)) {
-      error = Status::InvalidArgument(StrFormat(
-          "checkpoint '%s' is corrupt (enum fields)", path.c_str()));
+    if (r.ok()) {
+      const Status config_ok = ValidateStoredConfig(ckpt.config);
+      if (!config_ok.ok()) {
+        error = Status::InvalidArgument(
+            StrFormat("checkpoint '%s' is corrupt (%s)", path.c_str(),
+                      config_ok.message().c_str()));
+      }
     }
     ckpt.dataset.num_rows = r.I32();
     ckpt.dataset.num_cols = r.I32();
@@ -242,6 +296,7 @@ StatusOr<SessionCheckpoint> ReadCheckpoint(const std::string& path) {
     ckpt.dataset.train_nnz = r.I64();
     ckpt.dataset.test_nnz = r.I64();
     ckpt.dataset.train_hash = r.U64();
+    ckpt.dataset.test_hash = r.U64();
     ckpt.epochs_run = r.I32();
     ckpt.reached_target = r.U8() != 0;
     ckpt.sim_clock = r.F64();

@@ -32,7 +32,10 @@
 namespace hsgd {
 
 inline constexpr uint64_t kCheckpointMagic = 0x485347444348504Bull;  // "HSGDCHPK"
-inline constexpr uint32_t kCheckpointVersion = 1;
+// v2: fingerprint additionally hashes the test split (real loaded
+// datasets carry a held-out split whose identity matters for resume) and
+// restore validates config floats for finiteness/positivity.
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// Cheap identity of the data a session was trained on. Restore refuses
 /// a dataset whose fingerprint differs — resuming on different ratings
@@ -43,8 +46,12 @@ struct DatasetFingerprint {
   int32_t k = 0;
   int64_t train_nnz = 0;
   int64_t test_nnz = 0;
-  /// FNV-1a over the train ratings' (u, v, r) bytes in order.
+  /// FNV-1a over each split's (u, v, r) bytes in order. The test split is
+  /// covered too: datasets ingested by io/ carry a held-out split, and
+  /// resuming against different test ratings would silently skew the
+  /// RMSE trace and any early-stop decision.
   uint64_t train_hash = 0;
+  uint64_t test_hash = 0;
 
   bool operator==(const DatasetFingerprint& other) const;
   bool operator!=(const DatasetFingerprint& other) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/strings.h"
 
@@ -145,6 +146,39 @@ SyntheticSpec ScaledPresetSpec(DatasetPreset preset, double scale) {
   s.num_rows = std::min(s.num_rows, dim_cap);
   s.num_cols = std::min(s.num_cols, dim_cap);
   return s;
+}
+
+StatusOr<Dataset> MakeDataset(Ratings train, Ratings test,
+                              int32_t num_rows, int32_t num_cols,
+                              SgdParams params, double target_rmse) {
+  if (train.empty()) {
+    return Status::InvalidArgument("train split has no ratings");
+  }
+  if (num_rows <= 0 || num_cols <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("dataset needs positive dims, got %d x %d", num_rows,
+                  num_cols));
+  }
+  if (params.k <= 0) {
+    return Status::InvalidArgument("params.k must be positive");
+  }
+  for (const Ratings* split : {&train, &test}) {
+    for (const Rating& r : *split) {
+      if (r.u < 0 || r.u >= num_rows || r.v < 0 || r.v >= num_cols) {
+        return Status::InvalidArgument(
+            StrFormat("rating (%d, %d) outside the %d x %d matrix", r.u,
+                      r.v, num_rows, num_cols));
+      }
+    }
+  }
+  Dataset ds;
+  ds.train = std::move(train);
+  ds.test = std::move(test);
+  ds.num_rows = num_rows;
+  ds.num_cols = num_cols;
+  ds.params = params;
+  ds.target_rmse = target_rmse;
+  return ds;
 }
 
 namespace {

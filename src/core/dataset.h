@@ -86,4 +86,12 @@ SyntheticSpec ScaledPresetSpec(DatasetPreset preset, double scale);
 StatusOr<Dataset> GenerateSynthetic(const SyntheticSpec& spec,
                                     uint64_t seed);
 
+/// Assemble a Dataset from already-dense rating triplets (the io/ loaders
+/// produce these; tests build them directly). Validates that the train
+/// split is nonempty, every id lies in [0, num_rows) x [0, num_cols), and
+/// `params.k` is positive. `target_rmse` 0 means "no early-stop target".
+StatusOr<Dataset> MakeDataset(Ratings train, Ratings test,
+                              int32_t num_rows, int32_t num_cols,
+                              SgdParams params, double target_rmse = 0.0);
+
 }  // namespace hsgd

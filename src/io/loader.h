@@ -1,0 +1,118 @@
+// Real-dataset ingestion: loaders that turn the published rating-dump
+// formats into dense, trainer-ready triplets.
+//
+// Supported formats (--format names in parentheses):
+//
+//   movielens  MovieLens dumps — "::"-delimited .dat lines
+//              (user::item::rating[::timestamp]) or comma/tab CSV with an
+//              optional header line.
+//   netflix    Netflix Prize — per-movie "mv_*.txt" files in a directory,
+//              or the combined single-file variant; both are sequences of
+//              "movie_id:" section headers followed by
+//              "user,rating[,date]" lines.
+//   csv        Generic delimited triplets (comma, tab or semicolon),
+//              optional header, no rating-range restriction.
+//
+// Loading is production-shaped: the file is split at line boundaries into
+// chunks parsed in parallel on a util::ThreadPool (per-shard accumulation,
+// deterministic in-order merge — the result is byte-identical to a serial
+// parse regardless of thread count), raw ids are remapped to contiguous
+// dense indices with both directions of the mapping retained (so
+// Recommender results can be translated back to external ids), and every
+// malformed line fails the load with a Status naming "<path>:<line>".
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace hsgd::io {
+
+enum class DataFormat {
+  kMovieLens = 0,
+  kNetflix = 1,
+  kCsv = 2,
+};
+
+const char* FormatName(DataFormat format);
+StatusOr<DataFormat> FormatByName(const std::string& name);
+
+/// Raw-id -> contiguous dense index mapping, built in first-appearance
+/// (file) order so it is deterministic and independent of parse
+/// parallelism. Retained by LoadedData so serving-side callers can
+/// translate Recommender output back to the dump's external ids.
+class IdMap {
+ public:
+  /// Dense index for `raw`, assigning the next free index when new.
+  int32_t Assign(int64_t raw);
+  /// Dense index for `raw`, or -1 when never seen.
+  int32_t Lookup(int64_t raw) const;
+  /// The raw id a dense index was assigned from.
+  int64_t Raw(int32_t dense) const { return to_raw_[static_cast<size_t>(dense)]; }
+  int32_t size() const { return static_cast<int32_t>(to_raw_.size()); }
+
+ private:
+  std::unordered_map<int64_t, int32_t> to_dense_;
+  std::vector<int64_t> to_raw_;
+};
+
+struct LoadOptions {
+  /// Worker threads for chunked parsing (1 = serial; results are
+  /// identical either way).
+  int threads = 4;
+  /// Accepted rating range. Leave at kFormatDefault (NaN also works) to
+  /// get the format's default: movielens [0, 5], netflix [1, 5], csv
+  /// unbounded. A rating outside the range fails the load naming the
+  /// offending line.
+  double min_rating = kFormatDefault;
+  double max_rating = kFormatDefault;
+
+  static constexpr double kFormatDefault =
+      -1.7976931348623157e308;  // sentinel: use the format's range
+};
+
+/// A parsed dump: triplets with dense contiguous ids in file order, plus
+/// the id mappings that produced them.
+struct LoadedData {
+  Ratings ratings;
+  IdMap users;
+  IdMap items;
+};
+
+/// Parse `path` (a file; for netflix, a file or a directory of per-movie
+/// files) as `format`. Fails with NotFound for a missing path and
+/// InvalidArgument naming "<path>:<line>" for malformed content:
+/// non-numeric or negative ids, out-of-range ratings, wrong field counts
+/// (including a truncated last line), duplicate (user, item) entries, and
+/// rating lines before any section header (netflix). An empty file (or
+/// one holding only a header) is an error. CRLF endings and blank lines
+/// are tolerated.
+StatusOr<LoadedData> LoadRatings(const std::string& path, DataFormat format,
+                                 const LoadOptions& options = {});
+
+struct DatasetOptions {
+  /// Deterministic held-out split: every round(1/fraction)-th rating (in
+  /// file order) becomes a test entry. 0 disables the split (all train);
+  /// at most 0.5 (the modulo stride cannot hold out more than half).
+  double test_fraction = 0.1;
+  /// Hyper-parameters for the assembled Dataset. Zero/default k means
+  /// "use the format's Table I preset parameters".
+  SgdParams params{/*k=*/0};
+  /// Early-stop RMSE target; 0 = no target (benches print "never").
+  double target_rmse = 0.0;
+};
+
+/// LoadRatings + split + core::MakeDataset: the one-call path the benches
+/// use. The returned Dataset carries per-format Table I hyper-parameters
+/// unless `options.params` overrides them.
+StatusOr<Dataset> LoadDataset(const std::string& path, DataFormat format,
+                              const LoadOptions& load_options = {},
+                              const DatasetOptions& options = {});
+
+}  // namespace hsgd::io

@@ -1,0 +1,90 @@
+#include "io/writer.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace hsgd::io {
+
+namespace {
+
+class FileWriter {
+ public:
+  explicit FileWriter(const std::string& path)
+      : path_(path), f_(std::fopen(path.c_str(), "wb")) {}
+  ~FileWriter() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  bool open() const { return f_ != nullptr; }
+
+  void Line(const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+      __attribute__((format(printf, 2, 3)))
+#endif
+  {
+    if (f_ == nullptr || !ok_) return;
+    va_list args;
+    va_start(args, fmt);
+    if (std::vfprintf(f_, fmt, args) < 0) ok_ = false;
+    va_end(args);
+  }
+
+  Status Close() {
+    if (f_ == nullptr) {
+      return Status::Internal(
+          StrFormat("cannot open '%s' for writing", path_.c_str()));
+    }
+    const bool close_ok = std::fclose(f_) == 0;
+    f_ = nullptr;
+    if (!ok_ || !close_ok) {
+      return Status::Internal(
+          StrFormat("failed writing '%s'", path_.c_str()));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::string path_;
+  FILE* f_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+Status WriteMovieLens(const std::string& path, const Ratings& ratings) {
+  FileWriter w(path);
+  for (const Rating& r : ratings) {
+    w.Line("%d::%d::%.9g\n", r.u, r.v, static_cast<double>(r.r));
+  }
+  return w.Close();
+}
+
+Status WriteCsv(const std::string& path, const Ratings& ratings,
+                bool header) {
+  FileWriter w(path);
+  if (header) w.Line("userId,itemId,rating\n");
+  for (const Rating& r : ratings) {
+    w.Line("%d,%d,%.9g\n", r.u, r.v, static_cast<double>(r.r));
+  }
+  return w.Close();
+}
+
+Status WriteNetflix(const std::string& path, const Ratings& ratings) {
+  // Movie-major: group by item id ascending, input order within a group.
+  std::map<int32_t, std::vector<const Rating*>> by_item;
+  for (const Rating& r : ratings) by_item[r.v].push_back(&r);
+  FileWriter w(path);
+  for (const auto& [item, group] : by_item) {
+    w.Line("%d:\n", item);
+    for (const Rating* r : group) {
+      w.Line("%d,%.9g,2005-01-01\n", r->u, static_cast<double>(r->r));
+    }
+  }
+  return w.Close();
+}
+
+}  // namespace hsgd::io

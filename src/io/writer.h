@@ -1,0 +1,34 @@
+// Rating-dump writers, one per supported format. Their job is test
+// leverage, not archival: they let the suite synthesize fixtures in any
+// format and do write -> read round-trips against io/loader.h, and give
+// operators a way to export a dataset in a loadable form.
+//
+// The u/v fields of each Rating are written verbatim as the dump's raw
+// ids; ratings print with enough digits ("%.9g") that the float survives
+// a round-trip bit-exactly. MovieLens and CSV preserve input order
+// line-for-line; Netflix groups ratings by item (ascending id, the
+// format's movie-major shape), preserving input order within each group.
+
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace hsgd::io {
+
+/// "user::item::rating" lines (the MovieLens .dat spelling).
+Status WriteMovieLens(const std::string& path, const Ratings& ratings);
+
+/// "user,item,rating" lines, preceded by a "userId,itemId,rating" header
+/// when `header` is set.
+Status WriteCsv(const std::string& path, const Ratings& ratings,
+                bool header = true);
+
+/// Combined-file Netflix variant: "item:" section headers followed by
+/// "user,rating,2005-01-01" lines (the date is a placeholder; the reader
+/// ignores it).
+Status WriteNetflix(const std::string& path, const Ratings& ratings);
+
+}  // namespace hsgd::io

@@ -1,0 +1,43 @@
+#include "util/chunking.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace hsgd {
+
+std::vector<LineChunk> SplitAtLineBoundaries(const std::string& text,
+                                             size_t offset,
+                                             int max_chunks,
+                                             int64_t start_line) {
+  std::vector<LineChunk> chunks;
+  if (offset >= text.size()) return chunks;
+  if (max_chunks < 1) max_chunks = 1;
+  const size_t total = text.size() - offset;
+  const size_t target = std::max<size_t>(1, total / static_cast<size_t>(max_chunks));
+
+  size_t begin = offset;
+  int64_t line = start_line;
+  while (begin < text.size()) {
+    size_t end = begin + target;
+    if (end >= text.size() ||
+        static_cast<int>(chunks.size()) + 1 == max_chunks) {
+      end = text.size();
+    } else {
+      // Extend to the next newline so no line straddles two chunks.
+      size_t nl = text.find('\n', end);
+      end = nl == std::string::npos ? text.size() : nl + 1;
+    }
+    LineChunk chunk;
+    chunk.begin = begin;
+    chunk.end = end;
+    chunk.first_line = line;
+    chunks.push_back(chunk);
+    line += static_cast<int64_t>(
+        std::count(text.begin() + static_cast<std::ptrdiff_t>(begin),
+                   text.begin() + static_cast<std::ptrdiff_t>(end), '\n'));
+    begin = end;
+  }
+  return chunks;
+}
+
+}  // namespace hsgd

@@ -1,0 +1,32 @@
+// Line-boundary chunking for parallel text parsing: split a text buffer
+// into at most `max_chunks` byte ranges that each start at a line start
+// and end just past a newline (except possibly the last), with the
+// 1-based line number of each chunk's first line precomputed so shard
+// parsers can report exact line numbers without global coordination.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hsgd {
+
+struct LineChunk {
+  size_t begin = 0;        // byte offset of the chunk's first line start
+  size_t end = 0;          // one past the chunk's last byte
+  int64_t first_line = 1;  // 1-based line number of the line at `begin`
+};
+
+/// Split `text[offset..)` into at most `max_chunks` contiguous chunks cut
+/// only at line boundaries. Chunks are non-empty, cover the range exactly,
+/// and are returned in file order, so shard-parallel parsing with an
+/// in-order merge is byte-for-byte equivalent to a serial scan.
+/// `first_line` numbers start at `start_line` (the line number of the
+/// byte at `offset`; pass 2 when a header line was stripped).
+std::vector<LineChunk> SplitAtLineBoundaries(const std::string& text,
+                                             size_t offset,
+                                             int max_chunks,
+                                             int64_t start_line = 1);
+
+}  // namespace hsgd

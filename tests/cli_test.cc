@@ -1,0 +1,130 @@
+// CLI parsing tests: strict-mode unknown-flag rejection (the typo'd
+// --epoch=5 must fail naming the flag), --help table emission, accepted
+// flag spellings, and typed getters — plus validation of the io-layer
+// entry points the benches' new --data/--format flags route through.
+
+#include <string>
+#include <vector>
+
+#include "io/loader.h"
+#include "test_main.h"
+#include "util/cli.h"
+
+namespace hsgd {
+namespace {
+
+/// argv builder: keeps the strings alive and hands out mutable char*.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : args_(std::move(args)) {
+    for (std::string& arg : args_) ptrs_.push_back(arg.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<char*> ptrs_;
+};
+
+std::vector<FlagSpec> BenchLikeSpecs() {
+  return {
+      {"scale", "<mult>", "scale multiplier"},
+      {"epochs", "<cap>", "epoch budget"},
+      {"data", "<path>", "load real ratings"},
+      {"format", "<name>", "rating-dump format"},
+      {"verbose", "", "chatty output"},
+  };
+}
+
+void TestStrictRejectsUnknownFlag() {
+  Argv argv({"bench", "--epoch=5"});  // typo'd --epochs
+  CliFlags flags;
+  Status status = flags.Parse(argv.argc(), argv.argv(), BenchLikeSpecs());
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.message().find("--epoch") != std::string::npos);
+  EXPECT_TRUE(status.message().find("--help") != std::string::npos);
+}
+
+void TestStrictAcceptsKnownAndHelp() {
+  Argv argv({"bench", "--scale=0.5", "--verbose", "--help"});
+  CliFlags flags;
+  EXPECT_TRUE(
+      flags.Parse(argv.argc(), argv.argv(), BenchLikeSpecs()).ok());
+  EXPECT_EQ(flags.GetDouble("scale", 1.0), 0.5);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("help", false));
+}
+
+void TestFlagSpellings() {
+  // --name=value, --name value, bare boolean, single-dash spellings.
+  Argv argv({"bench", "--a=1", "--b", "2", "-c", "-d=x"});
+  CliFlags flags;
+  EXPECT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_EQ(flags.GetInt("a", 0), 1);
+  EXPECT_EQ(flags.GetInt("b", 0), 2);
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_EQ(flags.GetString("d", ""), "x");
+
+  // Positional arguments are rejected.
+  Argv positional({"bench", "stray"});
+  CliFlags rejecting;
+  EXPECT_FALSE(rejecting.Parse(positional.argc(), positional.argv()).ok());
+}
+
+void TestTypedGetterFallbacks() {
+  Argv argv({"bench", "--n=abc", "--x=1.5zz", "--flag=maybe"});
+  CliFlags flags;
+  EXPECT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  // Unparsable values fall back to the default (with a warning).
+  EXPECT_EQ(flags.GetInt("n", 42), 42);
+  EXPECT_EQ(flags.GetDouble("x", 2.5), 2.5);
+  EXPECT_TRUE(flags.GetBool("flag", true));
+  EXPECT_FALSE(flags.GetBool("flag", false));
+  // Absent flags use their defaults too.
+  EXPECT_EQ(flags.GetInt("missing", -7), -7);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+void TestHelpTableEmission() {
+  const std::string table = FormatFlagTable(BenchLikeSpecs());
+  // One aligned line per flag, value hints attached, --help appended.
+  EXPECT_TRUE(table.find("Flags:") != std::string::npos);
+  EXPECT_TRUE(table.find("--scale=<mult>") != std::string::npos);
+  EXPECT_TRUE(table.find("--data=<path>") != std::string::npos);
+  EXPECT_TRUE(table.find("--verbose") != std::string::npos);
+  EXPECT_TRUE(table.find("--help") != std::string::npos);
+  EXPECT_TRUE(table.find("print this flag table") != std::string::npos);
+  // Bare booleans get no "=<hint>".
+  EXPECT_TRUE(table.find("--verbose=") == std::string::npos);
+}
+
+void TestDataFlagValidation() {
+  // The two --data failure modes the benches surface: a bad format name
+  // and a missing file, both as Status (the bench then aborts loudly).
+  auto bad_format = io::FormatByName("feather");
+  EXPECT_FALSE(bad_format.ok());
+  EXPECT_TRUE(bad_format.status().message().find("feather") !=
+              std::string::npos);
+
+  auto missing = io::LoadDataset("does_not_exist.dat",
+                                 io::DataFormat::kMovieLens);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().code() == StatusCode::kNotFound);
+}
+
+}  // namespace
+
+void RunAllTests() {
+  TestStrictRejectsUnknownFlag();
+  TestStrictAcceptsKnownAndHelp();
+  TestFlagSpellings();
+  TestTypedGetterFallbacks();
+  TestHelpTableEmission();
+  TestDataFlagValidation();
+}
+
+}  // namespace hsgd
+
+using hsgd::RunAllTests;
+TEST_MAIN()

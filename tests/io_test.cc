@@ -1,0 +1,471 @@
+// Ingestion tests: golden-file parses of the committed fixtures (one per
+// format), write -> read round-trips through the io/ writers,
+// parallel-vs-serial parse equivalence, the deterministic train/test
+// split, and a malformed-input sweep where every bad file must come back
+// as a line-numbered Status — never a crash (CI runs this binary under
+// ASan/UBSan too).
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "io/loader.h"
+#include "io/writer.h"
+#include "test_main.h"
+#include "util/chunking.h"
+
+namespace hsgd {
+namespace {
+
+using io::DataFormat;
+using io::LoadedData;
+using io::LoadOptions;
+
+std::string Fixture(const char* name) {
+  return std::string(HSGD_FIXTURE_DIR) + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_TRUE(f != nullptr);
+  if (f == nullptr) return;
+  EXPECT_EQ(std::fwrite(content.data(), 1, content.size(), f),
+            content.size());
+  std::fclose(f);
+}
+
+/// Translate a loaded dataset's dense triplets back to raw-id triplets
+/// via its retained id maps.
+Ratings ToRaw(const LoadedData& data) {
+  Ratings raw;
+  raw.reserve(data.ratings.size());
+  for (const Rating& r : data.ratings) {
+    Rating out;
+    out.u = static_cast<int32_t>(data.users.Raw(r.u));
+    out.v = static_cast<int32_t>(data.items.Raw(r.v));
+    out.r = r.r;
+    raw.push_back(out);
+  }
+  return raw;
+}
+
+void ExpectRatingsEqual(const Ratings& a, const Ratings& b) {
+  EXPECT_EQ(a.size(), b.size());
+  if (a.size() != b.size()) return;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+    EXPECT_EQ(a[i].r, b[i].r);  // bit-identical floats
+  }
+}
+
+void TestFormatNames() {
+  EXPECT_TRUE(io::FormatByName("movielens").ok());
+  EXPECT_TRUE(io::FormatByName("NETFLIX").ok());
+  EXPECT_TRUE(io::FormatByName("csv").ok());
+  EXPECT_EQ(static_cast<int>(*io::FormatByName("ml")),
+            static_cast<int>(DataFormat::kMovieLens));
+  auto bad = io::FormatByName("parquet");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().message().find("parquet") != std::string::npos);
+  EXPECT_EQ(std::string(io::FormatName(DataFormat::kNetflix)), "netflix");
+}
+
+void TestGoldenMovieLensDat() {
+  for (int threads : {1, 3}) {
+    LoadOptions options;
+    options.threads = threads;
+    auto data =
+        io::LoadRatings(Fixture("ml_tiny.dat"), DataFormat::kMovieLens,
+                        options);
+    EXPECT_TRUE(data.ok());
+    if (!data.ok()) continue;
+    EXPECT_EQ(data->users.size(), 3);
+    EXPECT_EQ(data->items.size(), 3);
+    // Dense ids follow first appearance: users 10, 20, 30 -> 0, 1, 2 and
+    // items 100, 200, 300 -> 0, 1, 2.
+    EXPECT_EQ(data->users.Raw(0), 10);
+    EXPECT_EQ(data->users.Raw(2), 30);
+    EXPECT_EQ(data->items.Raw(1), 200);
+    EXPECT_EQ(data->users.Lookup(20), 1);
+    EXPECT_EQ(data->users.Lookup(999), -1);
+    const Ratings expected = {{0, 0, 5.0f},   {0, 1, 3.5f}, {1, 0, 4.0f},
+                              {2, 2, 2.0f},   {1, 1, 1.5f}, {2, 0, 0.5f}};
+    ExpectRatingsEqual(data->ratings, expected);
+  }
+}
+
+void TestGoldenCsvHeaderCrlf() {
+  // Header line skipped, CRLF endings tolerated, comma delimiter.
+  auto data = io::LoadRatings(Fixture("ml_tiny.csv"),
+                              DataFormat::kMovieLens);
+  EXPECT_TRUE(data.ok());
+  if (!data.ok()) return;
+  EXPECT_EQ(data->ratings.size(), 4u);
+  EXPECT_EQ(data->users.size(), 3);
+  EXPECT_EQ(data->items.size(), 3);
+  EXPECT_EQ(data->users.Raw(0), 1);
+  EXPECT_EQ(data->items.Raw(2), 30);
+  EXPECT_EQ(data->ratings[1].r, 3.5f);
+  // The generic csv format reads the same file.
+  auto as_csv = io::LoadRatings(Fixture("ml_tiny.csv"), DataFormat::kCsv);
+  EXPECT_TRUE(as_csv.ok());
+  if (as_csv.ok()) ExpectRatingsEqual(as_csv->ratings, data->ratings);
+}
+
+void TestGoldenNetflixCombined() {
+  auto data = io::LoadRatings(Fixture("netflix_tiny.txt"),
+                              DataFormat::kNetflix);
+  EXPECT_TRUE(data.ok());
+  if (!data.ok()) return;
+  EXPECT_EQ(data->ratings.size(), 5u);
+  EXPECT_EQ(data->items.size(), 2);
+  EXPECT_EQ(data->users.size(), 4);
+  EXPECT_EQ(data->items.Raw(0), 1);
+  EXPECT_EQ(data->items.Raw(1), 2);
+  EXPECT_EQ(data->users.Raw(0), 1488844);
+  // User 1488844 rated both movies; same dense id both times.
+  EXPECT_EQ(data->ratings[0].u, data->ratings[4].u);
+  EXPECT_EQ(data->ratings[4].v, 1);
+  EXPECT_EQ(data->ratings[4].r, 4.0f);
+}
+
+void TestNetflixPerMovieDirectory() {
+  namespace fs = std::filesystem;
+  const std::string dir = "io_test_netflix_dir";
+  fs::remove_all(dir);
+  fs::create_directory(dir);
+  WriteFile(dir + "/mv_0000002.txt", "2:\n823519,3,2004-05-03\n");
+  WriteFile(dir + "/mv_0000001.txt",
+            "1:\n1488844,3,2005-09-06\n822109,5,2005-05-13\n");
+  auto data = io::LoadRatings(dir, DataFormat::kNetflix);
+  EXPECT_TRUE(data.ok());
+  if (data.ok()) {
+    // Files visit in sorted name order: movie 1's ratings first.
+    EXPECT_EQ(data->ratings.size(), 3u);
+    EXPECT_EQ(data->items.Raw(0), 1);
+    EXPECT_EQ(data->items.Raw(1), 2);
+    EXPECT_EQ(data->ratings[2].r, 3.0f);
+  }
+  // A duplicate detected after the cross-file merge still names the
+  // per-movie file it came from, not the directory.
+  WriteFile(dir + "/mv_0000003.txt", "3:\n42,3,2005-01-01\n42,4,2005-01-02\n");
+  auto dup = io::LoadRatings(dir, DataFormat::kNetflix);
+  EXPECT_FALSE(dup.ok());
+  if (!dup.ok()) {
+    EXPECT_TRUE(dup.status().message().find("mv_0000003.txt:3:") !=
+                std::string::npos);
+  }
+  // A directory is only meaningful for netflix.
+  EXPECT_FALSE(io::LoadRatings(dir, DataFormat::kCsv).ok());
+  fs::remove_all(dir);
+}
+
+void TestRoundTripWriters() {
+  SyntheticSpec spec;
+  spec.num_rows = 40;
+  spec.num_cols = 30;
+  spec.train_nnz = 500;
+  spec.test_nnz = 0;
+  spec.params.k = 4;
+  auto ds = GenerateSynthetic(spec, /*seed=*/11);
+  EXPECT_TRUE(ds.ok());
+  // Synthetic sampling may repeat (u, v) pairs, which the loader rejects
+  // as duplicates; keep the first occurrence of each pair.
+  Ratings original;
+  {
+    std::vector<char> seen(
+        static_cast<size_t>(spec.num_rows * spec.num_cols), 0);
+    for (const Rating& r : ds->train) {
+      char& cell = seen[static_cast<size_t>(r.u) * spec.num_cols + r.v];
+      if (cell == 0) {
+        cell = 1;
+        original.push_back(r);
+      }
+    }
+  }
+
+  const std::string ml_path = "io_test_roundtrip.dat";
+  const std::string csv_path = "io_test_roundtrip.csv";
+  const std::string nf_path = "io_test_roundtrip.nf.txt";
+  EXPECT_TRUE(io::WriteMovieLens(ml_path, original).ok());
+  EXPECT_TRUE(io::WriteCsv(csv_path, original, /*header=*/true).ok());
+  EXPECT_TRUE(io::WriteNetflix(nf_path, original).ok());
+
+  // MovieLens and CSV preserve order: raw triplets come back
+  // bit-identical, line for line.
+  for (const auto& [path, format] :
+       {std::pair<std::string, DataFormat>{ml_path, DataFormat::kMovieLens},
+        {csv_path, DataFormat::kCsv}}) {
+    auto loaded = io::LoadRatings(path, format);
+    EXPECT_TRUE(loaded.ok());
+    if (loaded.ok()) ExpectRatingsEqual(ToRaw(*loaded), original);
+  }
+
+  // Netflix is movie-major: same triplets, item-grouped order. Compare
+  // under a canonical sort.
+  auto nf_loaded = io::LoadRatings(nf_path, DataFormat::kNetflix);
+  EXPECT_TRUE(nf_loaded.ok());
+  if (nf_loaded.ok()) {
+    Ratings got = ToRaw(*nf_loaded);
+    Ratings want = original;
+    auto by_pair = [](const Rating& a, const Rating& b) {
+      if (a.u != b.u) return a.u < b.u;
+      return a.v < b.v;
+    };
+    std::sort(got.begin(), got.end(), by_pair);
+    std::sort(want.begin(), want.end(), by_pair);
+    ExpectRatingsEqual(got, want);
+  }
+
+  std::remove(ml_path.c_str());
+  std::remove(csv_path.c_str());
+  std::remove(nf_path.c_str());
+}
+
+void TestParallelSerialEquivalence() {
+  // A file big enough to split into many chunks, with unique (u, v)
+  // pairs. Parse serially and with several pool sizes: results must be
+  // identical — triplets, order, and id-map contents.
+  Ratings original;
+  original.reserve(20000);
+  for (int32_t i = 0; i < 20000; ++i) {
+    Rating r;
+    r.u = i % 997;
+    r.v = i / 997;
+    r.r = 1.0f + static_cast<float>(i % 9) * 0.5f;
+    original.push_back(r);
+  }
+  const std::string path = "io_test_parallel.dat";
+  EXPECT_TRUE(io::WriteMovieLens(path, original).ok());
+
+  LoadOptions serial;
+  serial.threads = 1;
+  auto reference = io::LoadRatings(path, DataFormat::kMovieLens, serial);
+  EXPECT_TRUE(reference.ok());
+  for (int threads : {2, 7, 16}) {
+    LoadOptions options;
+    options.threads = threads;
+    auto parallel = io::LoadRatings(path, DataFormat::kMovieLens, options);
+    EXPECT_TRUE(parallel.ok());
+    if (!parallel.ok() || !reference.ok()) continue;
+    ExpectRatingsEqual(parallel->ratings, reference->ratings);
+    EXPECT_EQ(parallel->users.size(), reference->users.size());
+    EXPECT_EQ(parallel->items.size(), reference->items.size());
+    for (int32_t u = 0; u < reference->users.size(); ++u) {
+      EXPECT_EQ(parallel->users.Raw(u), reference->users.Raw(u));
+    }
+    for (int32_t v = 0; v < reference->items.size(); ++v) {
+      EXPECT_EQ(parallel->items.Raw(v), reference->items.Raw(v));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+/// Expect a load failure whose message names `line` ("path:line: ...").
+void ExpectLineError(const std::string& content, DataFormat format,
+                     int64_t line, const char* what) {
+  const std::string path = "io_test_malformed.tmp";
+  WriteFile(path, content);
+  // Both the serial and the sharded parser must report the same line.
+  for (int threads : {1, 4}) {
+    LoadOptions options;
+    options.threads = threads;
+    auto data = io::LoadRatings(path, format, options);
+    EXPECT_FALSE(data.ok());
+    if (data.ok()) {
+      std::fprintf(stderr, "  (case: %s)\n", what);
+      continue;
+    }
+    const std::string needle =
+        path + ":" + std::to_string(line) + ":";
+    if (data.status().message().find(needle) == std::string::npos) {
+      std::fprintf(stderr, "  (case %s: wanted '%s' in '%s')\n", what,
+                   needle.c_str(), data.status().message().c_str());
+      EXPECT_TRUE(false);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+void TestMalformedInputs() {
+  // Truncated last record (no rating field, with and without newline).
+  ExpectLineError("1::2::3\n4::5\n", DataFormat::kMovieLens, 2,
+                  "truncated with newline");
+  ExpectLineError("1::2::3\n4::5", DataFormat::kMovieLens, 2,
+                  "truncated without newline");
+  // Non-numeric and negative ids.
+  ExpectLineError("abc::2::3\n", DataFormat::kMovieLens, 1,
+                  "non-numeric user");
+  ExpectLineError("1::2::3\n1::xx::3\n", DataFormat::kMovieLens, 2,
+                  "non-numeric item");
+  ExpectLineError("-1::2::3\n", DataFormat::kMovieLens, 1, "negative id");
+  // Bad ratings: non-numeric, non-finite, out of the format's range.
+  ExpectLineError("1::2::abc\n", DataFormat::kMovieLens, 1,
+                  "non-numeric rating");
+  ExpectLineError("1::2::inf\n", DataFormat::kMovieLens, 1,
+                  "non-finite rating");
+  ExpectLineError("1::2::5.5\n", DataFormat::kMovieLens, 1,
+                  "rating above movielens range");
+  ExpectLineError("1:\n99,0.5,2005-01-01\n", DataFormat::kNetflix, 2,
+                  "rating below netflix range");
+  // Duplicate (user, item) pairs.
+  ExpectLineError("1::2::3\n7::8::2\n1::2::4\n", DataFormat::kMovieLens,
+                  3, "duplicate pair");
+  // Netflix rating line before any section header.
+  ExpectLineError("99,3,2005-01-01\n", DataFormat::kNetflix, 1,
+                  "rating before header");
+
+  // Empty file / header-only file: an error, not a zero-entry dataset.
+  const std::string path = "io_test_empty.tmp";
+  WriteFile(path, "");
+  EXPECT_FALSE(io::LoadRatings(path, DataFormat::kMovieLens).ok());
+  WriteFile(path, "userId,movieId,rating\n");
+  EXPECT_FALSE(io::LoadRatings(path, DataFormat::kCsv).ok());
+  std::remove(path.c_str());
+
+  // Missing path: NotFound.
+  auto missing =
+      io::LoadRatings("no_such_ratings.dat", DataFormat::kMovieLens);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().code() == StatusCode::kNotFound);
+}
+
+void TestCrlfAndBlankLines() {
+  const std::string path = "io_test_crlf.tmp";
+  WriteFile(path, "1::2::3\r\n\r\n4::5::2.5\r\n");
+  auto data = io::LoadRatings(path, DataFormat::kMovieLens);
+  EXPECT_TRUE(data.ok());
+  if (data.ok()) {
+    EXPECT_EQ(data->ratings.size(), 2u);
+    EXPECT_EQ(data->ratings[0].r, 3.0f);
+    EXPECT_EQ(data->ratings[1].r, 2.5f);
+  }
+  std::remove(path.c_str());
+}
+
+void TestLoadDatasetSplitAndParams() {
+  const std::string path = "io_test_split.dat";
+  Ratings original;
+  for (int32_t i = 0; i < 100; ++i) {
+    original.push_back({i % 25, i / 25, 1.0f + static_cast<float>(i % 5)});
+  }
+  EXPECT_TRUE(io::WriteMovieLens(path, original).ok());
+
+  io::DatasetOptions options;
+  options.test_fraction = 0.1;
+  auto ds = io::LoadDataset(path, DataFormat::kMovieLens, {}, options);
+  EXPECT_TRUE(ds.ok());
+  if (ds.ok()) {
+    EXPECT_EQ(ds->train_size(), 90);
+    EXPECT_EQ(ds->test_size(), 10);
+    EXPECT_EQ(ds->num_rows, 25);
+    EXPECT_EQ(ds->num_cols, 4);
+    // Format-default hyper-parameters: MovieLens Table I.
+    EXPECT_EQ(ds->params.k, PresetSpec(DatasetPreset::kMovieLens).params.k);
+
+    // The split is deterministic and parse-thread independent: the
+    // fingerprint (which covers both splits) must match exactly.
+    io::LoadOptions parallel;
+    parallel.threads = 8;
+    auto again =
+        io::LoadDataset(path, DataFormat::kMovieLens, parallel, options);
+    EXPECT_TRUE(again.ok());
+    if (again.ok()) {
+      EXPECT_TRUE(FingerprintDataset(*ds) == FingerprintDataset(*again));
+    }
+  }
+
+  // No split: everything lands in train.
+  io::DatasetOptions no_split;
+  no_split.test_fraction = 0.0;
+  auto all_train =
+      io::LoadDataset(path, DataFormat::kMovieLens, {}, no_split);
+  EXPECT_TRUE(all_train.ok());
+  if (all_train.ok()) {
+    EXPECT_EQ(all_train->train_size(), 100);
+    EXPECT_EQ(all_train->test_size(), 0);
+  }
+
+  // Bad fractions: rejected, including (0.5, 1) which the modulo stride
+  // could not honor.
+  for (double fraction : {1.5, 0.8, -0.1}) {
+    io::DatasetOptions bad;
+    bad.test_fraction = fraction;
+    EXPECT_FALSE(
+        io::LoadDataset(path, DataFormat::kMovieLens, {}, bad).ok());
+  }
+  std::remove(path.c_str());
+}
+
+void TestLineChunking() {
+  const std::string text = "aa\nbbb\nc\ndddd\ne\n";
+  for (int max_chunks : {1, 2, 3, 16}) {
+    auto chunks = SplitAtLineBoundaries(text, 0, max_chunks);
+    EXPECT_TRUE(!chunks.empty());
+    EXPECT_LE(chunks.size(), static_cast<size_t>(max_chunks));
+    // Chunks tile the text exactly and cut only after newlines.
+    EXPECT_EQ(chunks.front().begin, 0u);
+    EXPECT_EQ(chunks.back().end, text.size());
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      EXPECT_LT(chunks[i].begin, chunks[i].end);
+      if (i > 0) {
+        EXPECT_EQ(chunks[i].begin, chunks[i - 1].end);
+        EXPECT_EQ(text[chunks[i].begin - 1], '\n');
+      }
+    }
+    // first_line bookkeeping matches a serial newline count.
+    for (const LineChunk& chunk : chunks) {
+      int64_t expected =
+          1 + std::count(text.begin(),
+                         text.begin() + static_cast<ptrdiff_t>(chunk.begin),
+                         '\n');
+      EXPECT_EQ(chunk.first_line, expected);
+    }
+  }
+  // Degenerate inputs.
+  EXPECT_TRUE(SplitAtLineBoundaries("", 0, 4).empty());
+  EXPECT_TRUE(SplitAtLineBoundaries("abc", 3, 4).empty());
+  auto one = SplitAtLineBoundaries("no newline at all", 0, 4);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+void TestCommittedSmokeFixtureLoads() {
+  // The fixture CI feeds to the benches: sane shape, full id coverage.
+  auto ds = io::LoadDataset(Fixture("ml_smoke.dat"),
+                            DataFormat::kMovieLens);
+  EXPECT_TRUE(ds.ok());
+  if (!ds.ok()) return;
+  EXPECT_EQ(ds->num_rows, 80);
+  EXPECT_EQ(ds->num_cols, 50);
+  EXPECT_TRUE(ds->train_size() > 2000);
+  EXPECT_TRUE(ds->test_size() > 200);
+  RatingStats stats = ComputeStats(ds->train);
+  EXPECT_TRUE(stats.min_rating >= 0.5);
+  EXPECT_TRUE(stats.max_rating <= 5.0);
+}
+
+}  // namespace
+
+void RunAllTests() {
+  TestFormatNames();
+  TestGoldenMovieLensDat();
+  TestGoldenCsvHeaderCrlf();
+  TestGoldenNetflixCombined();
+  TestNetflixPerMovieDirectory();
+  TestRoundTripWriters();
+  TestParallelSerialEquivalence();
+  TestMalformedInputs();
+  TestCrlfAndBlankLines();
+  TestLoadDatasetSplitAndParams();
+  TestLineChunking();
+  TestCommittedSmokeFixtureLoads();
+}
+
+}  // namespace hsgd
+
+using hsgd::RunAllTests;
+TEST_MAIN()
