@@ -10,6 +10,8 @@
 //   --epochs=<cap>    epoch budget (default per bench)
 //   --datasets=a,b    comma list (default: all four presets)
 //   --seed=<n>
+//   --kernel=<name>   SGD/scoring kernel: auto, scalar, avx2, avx512
+//   --calibrate       feed the measured kernel rate into the simulator
 //
 // Training benches run through the Session API (RunSession below); the
 // RMSE-curve and dynamic-scheduling benches attach EpochObservers
@@ -40,6 +42,10 @@ struct BenchContext {
   int workers = 128;
   int max_epochs = 30;
   uint64_t seed = 1;
+  /// --kernel: compute-kernel variant for the real SGD/RMSE arithmetic.
+  KernelKind kernel = KernelKind::kAuto;
+  /// --calibrate: measure the real kernel rate and feed it to the sim.
+  bool calibrate = false;
   std::vector<DatasetPreset> presets;
   /// Real dataset loaded via --data/--format; when set, `presets` holds a
   /// single placeholder entry and MakeBenchDataset returns this instead
@@ -66,6 +72,11 @@ inline std::vector<FlagSpec> SharedFlagSpecs() {
        "rating-dump format for --data: movielens, netflix or csv"},
       {"test-split", "<frac>",
        "held-out fraction of loaded ratings (default 0.1)"},
+      {"kernel", "<name>",
+       "SGD/scoring kernel: auto, scalar, avx2, avx512 (default auto)"},
+      {"calibrate", "",
+       "micro-measure the chosen kernel's real update rate and override "
+       "the simulator's cpu.updates_per_sec_k128 with it"},
   };
 }
 
@@ -96,6 +107,16 @@ inline BenchContext ParseContext(int argc, char** argv,
   ctx.max_epochs =
       static_cast<int>(ctx.flags.GetInt("epochs", default_epochs));
   ctx.seed = static_cast<uint64_t>(ctx.flags.GetInt("seed", 1));
+  {
+    auto kernel = KernelKindByName(ctx.flags.GetString("kernel", "auto"));
+    HSGD_CHECK(kernel.ok()) << kernel.status().message();
+    // Fail at the flag, not deep inside Session::Create, when the machine
+    // or build cannot run the requested variant.
+    auto resolved = ResolveKernelKind(*kernel);
+    HSGD_CHECK(resolved.ok()) << resolved.status().message();
+    ctx.kernel = *kernel;
+  }
+  ctx.calibrate = ctx.flags.GetBool("calibrate", false);
   std::string list = ctx.flags.GetString("datasets", "");
   std::string data = ctx.flags.GetString("data", "");
   if (!data.empty()) {
@@ -169,6 +190,8 @@ inline TrainConfig MakeConfig(Algorithm algorithm, const BenchContext& ctx) {
   cfg.hardware.gpu.parallel_workers = ctx.workers;
   cfg.max_epochs = ctx.max_epochs;
   cfg.seed = ctx.seed;
+  cfg.kernel = ctx.kernel;
+  cfg.calibrate = ctx.calibrate;
   return cfg;
 }
 

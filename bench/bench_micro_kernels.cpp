@@ -1,6 +1,9 @@
 // Micro-benchmarks (google-benchmark) for the hot primitives: the SGD
-// inner loop, RMSE evaluation, simulator cost functions, and scheduler
-// acquire/release throughput.
+// inner loop per kernel variant (scalar/avx2/avx512/auto — the kernel
+// dispatch suite CI uploads as BENCH_kernels.json), RMSE evaluation,
+// top-k scoring, simulator cost functions, and scheduler acquire/release
+// throughput. Kernel-variant benches are registered at runtime so
+// unsupported variants are simply absent rather than failing.
 
 #include <benchmark/benchmark.h>
 
@@ -31,20 +34,68 @@ Dataset MicroDataset(int64_t nnz, int32_t m = 20000, int32_t n = 8000) {
   return std::move(ds).value();
 }
 
-void BM_SgdUpdateBlock(benchmark::State& state) {
-  int k = static_cast<int>(state.range(0));
+/// Factor traffic per SGD update: read + write of one P row and one Q
+/// row (logical k lanes; the padded layout moves the same cache lines).
+/// Reported as bytes/s so regressions in the aligned-storage layout show
+/// up even when items/s looks flat.
+int64_t SgdBytesPerUpdate(int k) { return 4LL * k * sizeof(float); }
+
+void BM_SgdUpdateBlock(benchmark::State& state, KernelKind kind, int k) {
+  auto resolved = ResolveKernelKind(kind);
+  HSGD_CHECK_OK(resolved.status());
+  const KernelOps& ops = GetKernelOps(*resolved);
   Dataset ds = MicroDataset(200000);
   Model model(ds.num_rows, ds.num_cols, k);
   Rng rng(1);
   model.InitRandom(&rng, 3.0);
   SgdHyper hyper{0.005f, 0.05f, 0.05f};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SgdUpdateBlock(&model, ds.train, hyper));
+    benchmark::DoNotOptimize(SgdUpdateBlock(&model, ds.train, hyper, &ops));
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(ds.train.size()));
+  const int64_t items =
+      state.iterations() * static_cast<int64_t>(ds.train.size());
+  state.SetItemsProcessed(items);
+  state.SetBytesProcessed(items * SgdBytesPerUpdate(k));
+  state.SetLabel(ops.name);
 }
-BENCHMARK(BM_SgdUpdateBlock)->Arg(32)->Arg(128);
+
+void BM_RmseKernel(benchmark::State& state, KernelKind kind) {
+  auto resolved = ResolveKernelKind(kind);
+  HSGD_CHECK_OK(resolved.status());
+  const KernelOps& ops = GetKernelOps(*resolved);
+  Dataset ds = MicroDataset(300000);
+  Model model(ds.num_rows, ds.num_cols, 128);
+  Rng rng(1);
+  model.InitRandom(&rng, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Rmse(model, ds.train, nullptr, &ops));
+  }
+  const int64_t items =
+      state.iterations() * static_cast<int64_t>(ds.train.size());
+  state.SetItemsProcessed(items);
+  state.SetBytesProcessed(items * 2LL * 128 * sizeof(float));
+  state.SetLabel(ops.name);
+}
+
+void BM_TopKKernel(benchmark::State& state, KernelKind kind) {
+  auto resolved = ResolveKernelKind(kind);
+  HSGD_CHECK_OK(resolved.status());
+  const KernelOps& ops = GetKernelOps(*resolved);
+  Dataset ds = MicroDataset(300000);
+  Model model(ds.num_rows, ds.num_cols, 128);
+  Rng rng(1);
+  model.InitRandom(&rng, 3.0);
+  Recommender recommender(&model, ds.train, &ops);
+  int32_t user = 0;
+  for (auto _ : state) {
+    auto top = recommender.TopK(user, 100);
+    HSGD_CHECK_OK(top.status());
+    benchmark::DoNotOptimize(*top);
+    user = (user + 1) % ds.num_rows;
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_cols);
+  state.SetLabel(ops.name);
+}
 
 void BM_SgdUpdateBlockHogwild(benchmark::State& state) {
   Dataset ds = MicroDataset(500000);
@@ -62,7 +113,7 @@ void BM_SgdUpdateBlockHogwild(benchmark::State& state) {
 }
 BENCHMARK(BM_SgdUpdateBlockHogwild)->Arg(4)->Arg(12);
 
-void BM_Rmse(benchmark::State& state) {
+void BM_RmseParallel(benchmark::State& state) {
   Dataset ds = MicroDataset(300000);
   Model model(ds.num_rows, ds.num_cols, 128);
   Rng rng(1);
@@ -74,7 +125,7 @@ void BM_Rmse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(ds.train.size()));
 }
-BENCHMARK(BM_Rmse);
+BENCHMARK(BM_RmseParallel);
 
 void BM_GpuKernelModel(benchmark::State& state) {
   SimtKernelModel model(GpuDeviceSpec(), 128);
@@ -170,24 +221,40 @@ void BM_SessionCheckpointRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_SessionCheckpointRoundtrip)->Unit(benchmark::kMillisecond);
 
-void BM_RecommenderTopK(benchmark::State& state) {
-  Dataset ds = MicroDataset(300000);
-  Model model(ds.num_rows, ds.num_cols, 128);
-  Rng rng(1);
-  model.InitRandom(&rng, 3.0);
-  Recommender recommender(&model, ds.train);
-  int32_t user = 0;
-  for (auto _ : state) {
-    auto top = recommender.TopK(user, static_cast<int>(state.range(0)));
-    HSGD_CHECK_OK(top.status());
-    benchmark::DoNotOptimize(*top);
-    user = (user + 1) % ds.num_rows;
-  }
-  state.SetItemsProcessed(state.iterations() * ds.num_cols);
-}
-BENCHMARK(BM_RecommenderTopK)->Arg(10)->Arg(100);
-
 }  // namespace
+
+/// Per-variant registrations (scalar/avx2/avx512/auto x k=32/128 for the
+/// SGD sweep). Done at runtime from main(): only the variants this
+/// machine/build can run are registered, so JSON output never contains
+/// skipped-with-error rows.
+void RegisterKernelVariantBenches() {
+  for (KernelKind kind : {KernelKind::kScalar, KernelKind::kAvx2,
+                          KernelKind::kAvx512, KernelKind::kAuto}) {
+    if (!KernelSupported(kind)) continue;
+    const std::string variant = KernelKindName(kind);
+    for (int k : {32, 128}) {
+      benchmark::RegisterBenchmark(
+          ("BM_SgdUpdateBlock/" + variant + "/" + std::to_string(k))
+              .c_str(),
+          [kind, k](benchmark::State& state) {
+            BM_SgdUpdateBlock(state, kind, k);
+          });
+    }
+    benchmark::RegisterBenchmark(
+        ("BM_Rmse/" + variant).c_str(),
+        [kind](benchmark::State& state) { BM_RmseKernel(state, kind); });
+    benchmark::RegisterBenchmark(
+        ("BM_RecommenderTopK/" + variant + "/100").c_str(),
+        [kind](benchmark::State& state) { BM_TopKKernel(state, kind); });
+  }
+}
+
 }  // namespace hsgd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  hsgd::RegisterKernelVariantBenches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

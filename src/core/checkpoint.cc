@@ -105,6 +105,8 @@ void WriteConfig(Writer* w, const TrainConfig& config) {
   w->I32(static_cast<int32_t>(config.cost_model));
   w->U8(config.dynamic_scheduling ? 1 : 0);
   w->I32(config.eval_threads);
+  w->I32(static_cast<int32_t>(config.kernel));
+  w->U8(config.calibrate ? 1 : 0);
   w->I32(config.hardware.num_cpu_threads);
   w->I32(config.hardware.num_gpus);
   w->F64(config.hardware.speed_variability);
@@ -128,11 +130,24 @@ void WriteConfig(Writer* w, const TrainConfig& config) {
 Status ValidateStoredConfig(const TrainConfig& c) {
   const int32_t algo = static_cast<int32_t>(c.algorithm);
   const int32_t cost = static_cast<int32_t>(c.cost_model);
+  const int32_t kernel = static_cast<int32_t>(c.kernel);
+  // Saved configs always hold a concrete kernel (Create pins auto before
+  // any save), so kAuto here is corruption — and letting it through
+  // would re-resolve to the machine-best variant on restore, silently
+  // changing the numerics the checkpoint promises to reproduce.
   if (algo < static_cast<int32_t>(Algorithm::kCpuOnly) ||
       algo > static_cast<int32_t>(Algorithm::kHsgdStar) ||
       cost < static_cast<int32_t>(CostModelKind::kQilin) ||
-      cost > static_cast<int32_t>(CostModelKind::kOurs)) {
+      cost > static_cast<int32_t>(CostModelKind::kOurs) ||
+      kernel < static_cast<int32_t>(KernelKind::kScalar) ||
+      kernel > static_cast<int32_t>(KernelKind::kAvx512)) {
     return Status::InvalidArgument("enum fields");
+  }
+  // Same reasoning for calibrate: Create clears it after substituting the
+  // measured rate, so a stored true would re-measure on restore and
+  // silently diverge from the persisted schedule.
+  if (c.calibrate) {
+    return Status::InvalidArgument("calibrate flag set");
   }
   if (c.max_epochs < 1 || c.max_epochs > (1 << 24) ||
       c.eval_threads < 1 || c.eval_threads > (1 << 20) ||
@@ -176,6 +191,8 @@ TrainConfig ReadConfig(Reader* r) {
   config.cost_model = static_cast<CostModelKind>(r->I32());
   config.dynamic_scheduling = r->U8() != 0;
   config.eval_threads = r->I32();
+  config.kernel = static_cast<KernelKind>(r->I32());
+  config.calibrate = r->U8() != 0;
   config.hardware.num_cpu_threads = r->I32();
   config.hardware.num_gpus = r->I32();
   config.hardware.speed_variability = r->F64();

@@ -35,7 +35,14 @@ inline constexpr uint64_t kCheckpointMagic = 0x485347444348504Bull;  // "HSGDCHP
 // v2: fingerprint additionally hashes the test split (real loaded
 // datasets carry a held-out split whose identity matters for resume) and
 // restore validates config floats for finiteness/positivity.
-inline constexpr uint32_t kCheckpointVersion = 2;
+// v3: the config records the RESOLVED compute-kernel variant (and the
+// calibrate flag, always false by save time since Create substitutes the
+// measured rate into cpu.updates_per_sec_k128); the factor matrices are
+// stored dense (stride-free), independent of the SIMD padding. Restore
+// re-resolves the recorded kernel and fails loudly on a machine or build
+// that cannot run it — resuming under a different kernel would silently
+// change the numerics.
+inline constexpr uint32_t kCheckpointVersion = 3;
 
 /// Cheap identity of the data a session was trained on. Restore refuses
 /// a dataset whose fingerprint differs — resuming on different ratings

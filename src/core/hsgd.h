@@ -6,9 +6,13 @@
 // internals).
 //
 // Layering:
-//   util/  - status, logging, strings, cli, rng, stopwatch, thread pool
-//   core/  - datasets, model, SGD kernels, session engine + checkpoint,
-//            recommender, legacy trainer facade (this directory)
+//   util/  - status, logging, strings, cli, rng, stopwatch, thread pool,
+//            cpu feature detection, aligned alloc, parallel reduce
+//   core/  - datasets, model, session engine + checkpoint, recommender,
+//            legacy trainer facade (this directory)
+//   core/kernels/ - scalar/AVX2/AVX-512 SGD + scoring kernels behind a
+//            runtime dispatch table, and the rate calibrator that feeds
+//            measured speeds back into sim/'s cost models
 //   sim/   - simulated CPU/GPU devices, PCIe link, profiler + cost models
 //   sched/ - grid division, blocked matrix, uniform & star schedulers
 
@@ -16,6 +20,8 @@
 
 #include "core/checkpoint.h"
 #include "core/dataset.h"
+#include "core/kernels/calibrator.h"
+#include "core/kernels/kernels.h"
 #include "core/model.h"
 #include "core/recommender.h"
 #include "core/session.h"

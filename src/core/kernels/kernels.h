@@ -1,0 +1,106 @@
+// Vectorized compute kernels for the three hot primitives of the engine —
+// fused dot+SGD-update over a rating block, squared-error reduction, and
+// batch dot-scoring — in scalar, AVX2+FMA and (optional) AVX-512F
+// variants behind one dispatch table. Every caller that used to hand-roll
+// the k-loop (Model::Predict, SgdUpdateBlock{,Hogwild}, Rmse,
+// Recommender::TopK) now routes through a KernelOps table; which table is
+// picked at runtime from cpuid (util/cpu_features.h), overridable via
+// TrainConfig::kernel / the benches' --kernel flag.
+//
+// Layout contract. The factor matrices are stored stride-padded and
+// 64-byte aligned (core/model.h): row r of a rank-k matrix lives at
+// `base + r * stride` with `stride == PaddedStride(k)`, and the
+// `stride - k` padding lanes are ZERO. Vector kernels exploit both
+// properties — they load full SIMD lanes past `k` without masking
+// (padding contributes 0 to every dot) and store full lanes back (the
+// SGD update maps 0 factors to 0, so padding stays zero). The scalar
+// kernels touch exactly `k` lanes with the pre-SIMD loops' accumulation
+// order. (One deliberate delta from the old Rmse path: the per-rating
+// error is rounded through float before squaring, exactly as the SGD
+// kernel computes it — that is what makes the frozen-sweep contract
+// below bitwise instead of merely close.)
+//
+// Within one KernelOps table the same dot-accumulation order is used by
+// all four entry points, so e.g. the squared error reported by sgd_block
+// at learning rate 0 equals sq_err_block's bitwise. Across tables results
+// differ only by float summation order (tested to tolerance in
+// kernels_test).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace hsgd {
+
+/// Factor rows are padded to a multiple of 16 floats (one 64-byte cache
+/// line, also the AVX-512 register width), so rows never split lines and
+/// every SIMD variant can sweep whole rows.
+inline constexpr int kFactorPadFloats = 16;
+inline constexpr int kFactorAlignBytes = 64;
+
+constexpr int PaddedStride(int k) {
+  return (k + kFactorPadFloats - 1) / kFactorPadFloats * kFactorPadFloats;
+}
+
+enum class KernelKind : int32_t {
+  kAuto = 0,    // resolve to the best usable variant at startup
+  kScalar = 1,  // portable reference baseline
+  kAvx2 = 2,    // AVX2 + FMA, 8-float lanes
+  kAvx512 = 3,  // AVX-512F, 16-float lanes (guarded: compiled in only
+                // when the toolchain supports -mavx512f)
+};
+
+const char* KernelKindName(KernelKind kind);
+/// "auto", "scalar", "avx2", "avx512" — the --kernel flag vocabulary.
+StatusOr<KernelKind> KernelKindByName(const std::string& name);
+
+/// One variant's implementations of the three primitives (plus the single
+/// dot product they are all built from). `stride` is the padded row pitch
+/// of BOTH factor matrices; `k` the logical rank.
+struct KernelOps {
+  KernelKind kind = KernelKind::kScalar;
+  const char* name = "scalar";
+
+  /// Single dot product p . q over k lanes.
+  float (*dot)(const float* p, const float* q, int k);
+
+  /// Sequential fused predict+SGD sweep over ratings[0..n): for each
+  /// rating (u, v, r) updates row u of `p` and row v of `q` in place.
+  /// Returns the sum of squared pre-update errors.
+  double (*sgd_block)(float* p, float* q, int64_t stride, int k,
+                      const Rating* ratings, int64_t n, float learning_rate,
+                      float lambda_p, float lambda_q);
+
+  /// Squared-error reduction: sum over ratings[0..n) of (r - p_u . q_v)^2.
+  double (*sq_err_block)(const float* p, const float* q, int64_t stride,
+                         int k, const Rating* ratings, int64_t n);
+
+  /// Batch dot-scoring: out[i] = user . q_{first_item + i} for
+  /// i in [0, count). Each score is bitwise equal to dot() on the same
+  /// operands, so rankings agree with single-item prediction.
+  void (*score_block)(const float* user, const float* q, int64_t stride,
+                      int k, int32_t first_item, int32_t count, float* out);
+};
+
+/// Variant is compiled in AND runnable on this CPU.
+bool KernelSupported(KernelKind kind);
+
+/// kAuto -> the fastest usable variant (avx512 > avx2 > scalar; AVX-512
+/// is only auto-picked where it is compiled in and the OS saves ZMM
+/// state). A concrete kind resolves to itself when supported and is an
+/// InvalidArgument otherwise — requesting avx2 on a machine without it
+/// must fail loudly, not silently retune the engine's numerics.
+StatusOr<KernelKind> ResolveKernelKind(KernelKind requested);
+
+/// Dispatch table for a resolved (non-auto, supported) kind.
+const KernelOps& GetKernelOps(KernelKind resolved);
+
+/// GetKernelOps(ResolveKernelKind(kAuto)), resolved once and cached —
+/// what Model::Predict and the kernel-parameter defaults use.
+const KernelOps& DefaultKernelOps();
+
+}  // namespace hsgd

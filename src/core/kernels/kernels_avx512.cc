@@ -1,0 +1,121 @@
+// AVX-512F kernel variants (guarded: the TU is in the build only when
+// the toolchain accepts -mavx512f, and the dispatcher only routes here
+// when cpuid + XCR0 report ZMM state usable). The padded stride is
+// exactly one 16-float ZMM register, so every row is a whole number of
+// vectors — no masks, no tails.
+
+#include "core/kernels/kernels.h"
+
+#ifdef HSGD_HAVE_AVX512
+
+#if !defined(__AVX512F__)
+#error "kernels_avx512.cc must be compiled with -mavx512f"
+#endif
+
+#include <immintrin.h>
+
+namespace hsgd {
+
+namespace {
+
+inline int Ceil16(int k) { return (k + 15) & ~15; }
+
+/// See kernels_avx2.cc: hide the random row-gather latency by pulling
+/// an upcoming rating's rows toward L1 during the current update.
+inline void PrefetchRows(const float* pu, const float* qv, int k) {
+  for (int i = 0; i < k; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(pu + i), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(qv + i), _MM_HINT_T0);
+  }
+}
+
+inline float DotAvx512(const float* p, const float* q, int k) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  const int k32 = k & ~31;
+  int i = 0;
+  for (; i < k32; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(p + i),
+                           _mm512_loadu_ps(q + i), acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(p + i + 16),
+                           _mm512_loadu_ps(q + i + 16), acc1);
+  }
+  const int kv = Ceil16(k);
+  for (; i < kv; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(p + i),
+                           _mm512_loadu_ps(q + i), acc0);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+double SgdBlockAvx512(float* p, float* q, int64_t stride, int k,
+                      const Rating* ratings, int64_t n, float lr, float lp,
+                      float lq) {
+  const int kv = Ceil16(k);
+  const __m512 vlr = _mm512_set1_ps(lr);
+  const __m512 vlp = _mm512_set1_ps(lp);
+  const __m512 vlq = _mm512_set1_ps(lq);
+  double sq_err = 0.0;
+  for (int64_t idx = 0; idx < n; ++idx) {
+    const Rating& rt = ratings[idx];
+    float* pu = p + static_cast<int64_t>(rt.u) * stride;
+    float* qv = q + static_cast<int64_t>(rt.v) * stride;
+    if (idx + 1 < n) {
+      const Rating& next = ratings[idx + 1];
+      PrefetchRows(p + static_cast<int64_t>(next.u) * stride,
+                   q + static_cast<int64_t>(next.v) * stride, k);
+    }
+    const float err = rt.r - DotAvx512(pu, qv, k);
+    const __m512 verr = _mm512_set1_ps(err);
+    for (int i = 0; i < kv; i += 16) {
+      const __m512 pi = _mm512_loadu_ps(pu + i);
+      const __m512 qi = _mm512_loadu_ps(qv + i);
+      const __m512 gp = _mm512_fmsub_ps(verr, qi, _mm512_mul_ps(vlp, pi));
+      const __m512 gq = _mm512_fmsub_ps(verr, pi, _mm512_mul_ps(vlq, qi));
+      _mm512_storeu_ps(pu + i, _mm512_fmadd_ps(vlr, gp, pi));
+      _mm512_storeu_ps(qv + i, _mm512_fmadd_ps(vlr, gq, qi));
+    }
+    sq_err += static_cast<double>(err) * err;
+  }
+  return sq_err;
+}
+
+double SqErrBlockAvx512(const float* p, const float* q, int64_t stride,
+                        int k, const Rating* ratings, int64_t n) {
+  double acc = 0.0;
+  for (int64_t idx = 0; idx < n; ++idx) {
+    const Rating& rt = ratings[idx];
+    if (idx + 1 < n) {
+      const Rating& next = ratings[idx + 1];
+      PrefetchRows(p + static_cast<int64_t>(next.u) * stride,
+                   q + static_cast<int64_t>(next.v) * stride, k);
+    }
+    // Error in float, matching sgd_block's pre-update error bitwise.
+    const float err =
+        rt.r - DotAvx512(p + static_cast<int64_t>(rt.u) * stride,
+                         q + static_cast<int64_t>(rt.v) * stride, k);
+    acc += static_cast<double>(err) * err;
+  }
+  return acc;
+}
+
+void ScoreBlockAvx512(const float* user, const float* q, int64_t stride,
+                      int k, int32_t first_item, int32_t count,
+                      float* out) {
+  for (int32_t i = 0; i < count; ++i) {
+    out[i] = DotAvx512(
+        user, q + static_cast<int64_t>(first_item + i) * stride, k);
+  }
+}
+
+}  // namespace
+
+extern const KernelOps kAvx512KernelOps;
+const KernelOps kAvx512KernelOps = {
+    KernelKind::kAvx512, "avx512",       DotAvx512,
+    SgdBlockAvx512,      SqErrBlockAvx512, ScoreBlockAvx512,
+};
+
+}  // namespace hsgd
+
+#endif  // HSGD_HAVE_AVX512

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/parallel_reduce.h"
 
 namespace hsgd {
 
@@ -9,110 +13,119 @@ Model::Model(int32_t num_rows, int32_t num_cols, int k)
     : num_rows_(num_rows),
       num_cols_(num_cols),
       k_(k),
-      p_(static_cast<size_t>(num_rows) * k, 0.0f),
-      q_(static_cast<size_t>(num_cols) * k, 0.0f) {}
+      stride_(PaddedStride(k)),
+      p_(AllocateAlignedFloats(static_cast<size_t>(num_rows) * stride_)),
+      q_(AllocateAlignedFloats(static_cast<size_t>(num_cols) * stride_)) {}
 
 void Model::InitRandom(Rng* rng, double mean_rating) {
   if (mean_rating < 0.0) mean_rating = 0.0;
-  const float hi =
-      2.0f * std::sqrt(static_cast<float>(mean_rating) / k_);
-  for (float& x : p_) x = rng->NextFloat() * hi;
-  for (float& x : q_) x = rng->NextFloat() * hi;
+  float hi = 2.0f * std::sqrt(static_cast<float>(mean_rating) / k_);
+  if (!(hi > 0.0f)) {
+    // An all-zero init can never train: every gradient is zero. Seed the
+    // factors with a small positive range instead.
+    constexpr float kInitFloor = 0.1f;
+    HSGD_LOG(Warning) << "InitRandom: mean rating " << mean_rating
+                      << " gives a degenerate init range; clamping to ["
+                      << 0.0f << ", " << kInitFloor << ")";
+    hi = kInitFloor;
+  }
+  // Fill only the logical k lanes of each row — the padding must stay
+  // zero — drawing in the same row-major order as the dense layout so
+  // seeds reproduce the same factors at any stride.
+  for (int32_t u = 0; u < num_rows_; ++u) {
+    float* row = Row(u);
+    for (int i = 0; i < k_; ++i) row[i] = rng->NextFloat() * hi;
+  }
+  for (int32_t v = 0; v < num_cols_; ++v) {
+    float* col = Col(v);
+    for (int i = 0; i < k_; ++i) col[i] = rng->NextFloat() * hi;
+  }
 }
 
-float Model::Predict(int32_t u, int32_t v) const {
-  const float* p = Row(u);
-  const float* q = Col(v);
-  float acc = 0.0f;
-  for (int i = 0; i < k_; ++i) acc += p[i] * q[i];
-  return acc;
+float Model::Predict(int32_t u, int32_t v, const KernelOps* ops) const {
+  const KernelOps& kernel = ops != nullptr ? *ops : DefaultKernelOps();
+  return kernel.dot(Row(u), Col(v), k_);
+}
+
+std::vector<float> Model::DenseP() const {
+  std::vector<float> dense(dense_p_size());
+  for (int32_t u = 0; u < num_rows_; ++u) {
+    std::memcpy(dense.data() + static_cast<size_t>(u) * k_, Row(u),
+                sizeof(float) * static_cast<size_t>(k_));
+  }
+  return dense;
+}
+
+std::vector<float> Model::DenseQ() const {
+  std::vector<float> dense(dense_q_size());
+  for (int32_t v = 0; v < num_cols_; ++v) {
+    std::memcpy(dense.data() + static_cast<size_t>(v) * k_, Col(v),
+                sizeof(float) * static_cast<size_t>(k_));
+  }
+  return dense;
+}
+
+void Model::SetDense(const std::vector<float>& p,
+                     const std::vector<float>& q) {
+  HSGD_CHECK(p.size() == dense_p_size() && q.size() == dense_q_size());
+  std::memset(p_.get(), 0, sizeof(float) * p_size());
+  std::memset(q_.get(), 0, sizeof(float) * q_size());
+  for (int32_t u = 0; u < num_rows_; ++u) {
+    std::memcpy(Row(u), p.data() + static_cast<size_t>(u) * k_,
+                sizeof(float) * static_cast<size_t>(k_));
+  }
+  for (int32_t v = 0; v < num_cols_; ++v) {
+    std::memcpy(Col(v), q.data() + static_cast<size_t>(v) * k_,
+                sizeof(float) * static_cast<size_t>(k_));
+  }
 }
 
 namespace {
 
-/// The inner update shared by the sequential and Hogwild kernels.
-/// Returns the squared pre-update error.
-inline double UpdateOne(float* __restrict p, float* __restrict q, int k,
-                        float r, SgdHyper hyper) {
-  float dot = 0.0f;
-  for (int i = 0; i < k; ++i) dot += p[i] * q[i];
-  const float err = r - dot;
-  const float lr = hyper.learning_rate;
-  const float lp = hyper.lambda_p;
-  const float lq = hyper.lambda_q;
-  for (int i = 0; i < k; ++i) {
-    const float pi = p[i];
-    const float qi = q[i];
-    p[i] = pi + lr * (err * qi - lp * pi);
-    q[i] = qi + lr * (err * pi - lq * qi);
-  }
-  return static_cast<double>(err) * err;
+inline const KernelOps& Resolve(const KernelOps* ops) {
+  return ops != nullptr ? *ops : DefaultKernelOps();
 }
 
 }  // namespace
 
-double SgdUpdateBlock(Model* model, const Ratings& block, SgdHyper hyper) {
-  const int k = model->k();
-  double sq_err = 0.0;
-  for (const Rating& rt : block) {
-    sq_err += UpdateOne(model->Row(rt.u), model->Col(rt.v), k, rt.r, hyper);
-  }
-  return sq_err;
+double SgdUpdateBlock(Model* model, const Ratings& block, SgdHyper hyper,
+                      const KernelOps* ops) {
+  const KernelOps& kernel = Resolve(ops);
+  return kernel.sgd_block(model->p_data(), model->q_data(),
+                          model->stride(), model->k(), block.data(),
+                          static_cast<int64_t>(block.size()),
+                          hyper.learning_rate, hyper.lambda_p,
+                          hyper.lambda_q);
 }
 
 double SgdUpdateBlockHogwild(Model* model, const Ratings& block,
-                             SgdHyper hyper, ThreadPool* pool) {
+                             SgdHyper hyper, ThreadPool* pool,
+                             const KernelOps* ops) {
   if (pool == nullptr || pool->size() == 0) {
-    return SgdUpdateBlock(model, block, hyper);
+    return SgdUpdateBlock(model, block, hyper, ops);
   }
-  const int k = model->k();
+  const KernelOps& kernel = Resolve(ops);
   const int64_t n = static_cast<int64_t>(block.size());
-  const int64_t grain = 8192;
-  const int64_t num_chunks = (n + grain - 1) / grain;
-  std::vector<double> partial(static_cast<size_t>(num_chunks), 0.0);
-  pool->ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
-    double acc = 0.0;
-    for (int64_t i = lo; i < hi; ++i) {
-      const Rating& rt = block[static_cast<size_t>(i)];
-      acc += UpdateOne(model->Row(rt.u), model->Col(rt.v), k, rt.r, hyper);
-    }
-    partial[static_cast<size_t>(lo / grain)] = acc;
+  return ParallelReduce(pool, n, /*grain=*/8192, [&](int64_t lo,
+                                                     int64_t hi) {
+    return kernel.sgd_block(model->p_data(), model->q_data(),
+                            model->stride(), model->k(), block.data() + lo,
+                            hi - lo, hyper.learning_rate, hyper.lambda_p,
+                            hyper.lambda_q);
   });
-  double sq_err = 0.0;
-  for (double x : partial) sq_err += x;
-  return sq_err;
 }
 
-double Rmse(const Model& model, const Ratings& ratings, ThreadPool* pool) {
+double Rmse(const Model& model, const Ratings& ratings, ThreadPool* pool,
+            const KernelOps* ops) {
   const int64_t n = static_cast<int64_t>(ratings.size());
   if (n == 0) return 0.0;
-  const int k = model.k();
-  const int64_t grain = 65536;
-  const int64_t num_chunks = (n + grain - 1) / grain;
-  std::vector<double> partial(static_cast<size_t>(num_chunks), 0.0);
-  auto eval_chunk = [&](int64_t lo, int64_t hi) {
-    double acc = 0.0;
-    for (int64_t i = lo; i < hi; ++i) {
-      const Rating& rt = ratings[static_cast<size_t>(i)];
-      const float* p = model.Row(rt.u);
-      const float* q = model.Col(rt.v);
-      float dot = 0.0f;
-      for (int j = 0; j < k; ++j) dot += p[j] * q[j];
-      const double err = static_cast<double>(rt.r) - dot;
-      acc += err * err;
-    }
-    partial[static_cast<size_t>(lo / grain)] = acc;
-  };
-  if (pool != nullptr && pool->size() > 0) {
-    pool->ParallelFor(0, n, grain, eval_chunk);
-  } else {
-    for (int64_t lo = 0; lo < n; lo += grain) {
-      eval_chunk(lo, std::min(lo + grain, n));
-    }
-  }
-  // Fixed-order reduction => identical result for any pool size.
-  double sq_err = 0.0;
-  for (double x : partial) sq_err += x;
+  const KernelOps& kernel = Resolve(ops);
+  const double sq_err =
+      ParallelReduce(pool, n, /*grain=*/65536, [&](int64_t lo, int64_t hi) {
+        return kernel.sq_err_block(model.p_data(), model.q_data(),
+                                   model.stride(), model.k(),
+                                   ratings.data() + lo, hi - lo);
+      });
   return std::sqrt(sq_err / static_cast<double>(n));
 }
 

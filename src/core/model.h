@@ -2,13 +2,22 @@
 // kernels. These are genuine compute kernels — the simulator decides *when*
 // a block runs and how long it takes in virtual time, but the arithmetic
 // applied to the factors is the real thing, so loss curves are honest.
+//
+// Storage is SIMD-friendly: each factor row occupies PaddedStride(k)
+// floats (k rounded up to a 64-byte cache line) in a 64-byte-aligned
+// allocation, and the padding lanes are zero — an invariant InitRandom
+// establishes and every kernel preserves (see core/kernels/kernels.h for
+// why that lets vector loops sweep whole rows unmasked). Use Row()/Col()
+// for per-entity access; only the first k lanes of a row are meaningful.
 
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/kernels/kernels.h"
 #include "core/types.h"
+#include "util/aligned.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -18,40 +27,74 @@ class Model {
  public:
   Model(int32_t num_rows, int32_t num_cols, int k);
 
-  /// Initialize entries uniform in [0, 2*sqrt(mean_rating/k)) so the
-  /// initial prediction is centered on the mean rating.
+  /// Initialize entries uniform in [0, hi) with hi = 2*sqrt(mean/k) so the
+  /// initial prediction is centered on the mean rating. A degenerate mean
+  /// (<= 0, e.g. an all-zero rating dump) would make hi == 0 and freeze
+  /// training at the all-zero saddle point; it is clamped to a small
+  /// positive floor instead, with a warning.
   void InitRandom(Rng* rng, double mean_rating);
 
   int32_t num_rows() const { return num_rows_; }
   int32_t num_cols() const { return num_cols_; }
   int k() const { return k_; }
+  /// Padded row pitch in floats (PaddedStride(k)); the distance between
+  /// consecutive Row()/Col() pointers.
+  int stride() const { return stride_; }
 
-  float* Row(int32_t u) { return &p_[static_cast<size_t>(u) * k_]; }
+  float* Row(int32_t u) {
+    return p_.get() + static_cast<int64_t>(u) * stride_;
+  }
   const float* Row(int32_t u) const {
-    return &p_[static_cast<size_t>(u) * k_];
+    return p_.get() + static_cast<int64_t>(u) * stride_;
   }
-  float* Col(int32_t v) { return &q_[static_cast<size_t>(v) * k_]; }
+  float* Col(int32_t v) {
+    return q_.get() + static_cast<int64_t>(v) * stride_;
+  }
   const float* Col(int32_t v) const {
-    return &q_[static_cast<size_t>(v) * k_];
+    return q_.get() + static_cast<int64_t>(v) * stride_;
   }
 
-  float Predict(int32_t u, int32_t v) const;
+  /// p_u . q_v through `ops` (null = the auto-dispatched default). Pass
+  /// the same ops as the surrounding Session/Recommender when the kernel
+  /// is pinned away from the default — each variant's dot is bitwise
+  /// consistent with its own score_block, but not across variants.
+  float Predict(int32_t u, int32_t v, const KernelOps* ops = nullptr) const;
 
-  /// Contiguous row-major factor storage (num_rows*k / num_cols*k floats)
-  /// for bulk serialization; use Row()/Col() for per-entity access.
-  const float* p_data() const { return p_.data(); }
-  float* p_data() { return p_.data(); }
-  const float* q_data() const { return q_.data(); }
-  float* q_data() { return q_.data(); }
-  size_t p_size() const { return p_.size(); }
-  size_t q_size() const { return q_.size(); }
+  /// Raw padded storage (num_rows*stride / num_cols*stride floats,
+  /// 64-byte aligned). Kernels index it as base + row*stride.
+  const float* p_data() const { return p_.get(); }
+  float* p_data() { return p_.get(); }
+  const float* q_data() const { return q_.get(); }
+  float* q_data() { return q_.get(); }
+  size_t p_size() const {
+    return static_cast<size_t>(num_rows_) * stride_;
+  }
+  size_t q_size() const {
+    return static_cast<size_t>(num_cols_) * stride_;
+  }
+
+  /// Dense (stride-free, num_rows*k / num_cols*k) factor copies for
+  /// serialization — checkpoints store factors without the SIMD padding,
+  /// so their size and layout do not depend on the kernel build.
+  std::vector<float> DenseP() const;
+  std::vector<float> DenseQ() const;
+  /// Inverse of DenseP/DenseQ; `p` and `q` must be exactly
+  /// num_rows*k / num_cols*k floats. Re-zeroes the padding lanes.
+  void SetDense(const std::vector<float>& p, const std::vector<float>& q);
+  size_t dense_p_size() const {
+    return static_cast<size_t>(num_rows_) * k_;
+  }
+  size_t dense_q_size() const {
+    return static_cast<size_t>(num_cols_) * k_;
+  }
 
  private:
   int32_t num_rows_;
   int32_t num_cols_;
   int k_;
-  std::vector<float> p_;
-  std::vector<float> q_;
+  int stride_;
+  AlignedFloatPtr p_;
+  AlignedFloatPtr q_;
 };
 
 struct SgdHyper {
@@ -61,19 +104,24 @@ struct SgdHyper {
 };
 
 /// One sequential SGD sweep over `block`; returns the pre-update sum of
-/// squared errors (free by-product of the updates).
-double SgdUpdateBlock(Model* model, const Ratings& block, SgdHyper hyper);
+/// squared errors (free by-product of the updates). `ops` selects the
+/// kernel variant; null means the auto-dispatched default.
+double SgdUpdateBlock(Model* model, const Ratings& block, SgdHyper hyper,
+                      const KernelOps* ops = nullptr);
 
 /// Lock-free parallel sweep in Hogwild style: threads race on shared
 /// factors, which is statistically fine for sparse blocks. Not
 /// bit-reproducible across pool sizes — the simulator uses the sequential
 /// kernel where determinism matters.
 double SgdUpdateBlockHogwild(Model* model, const Ratings& block,
-                             SgdHyper hyper, ThreadPool* pool);
+                             SgdHyper hyper, ThreadPool* pool,
+                             const KernelOps* ops = nullptr);
 
 /// Root mean squared prediction error over `ratings`. Deterministic for a
 /// given input regardless of pool size (fixed-grain chunking, in-order
-/// reduction). `pool` may be null for serial evaluation.
-double Rmse(const Model& model, const Ratings& ratings, ThreadPool* pool);
+/// reduction via util::ParallelReduce). `pool` may be null for serial
+/// evaluation.
+double Rmse(const Model& model, const Ratings& ratings, ThreadPool* pool,
+            const KernelOps* ops = nullptr);
 
 }  // namespace hsgd

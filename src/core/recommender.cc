@@ -8,8 +8,9 @@
 
 namespace hsgd {
 
-Recommender::Recommender(const Model* model, const Ratings& rated)
-    : model_(model) {
+Recommender::Recommender(const Model* model, const Ratings& rated,
+                         const KernelOps* ops)
+    : model_(model), ops_(ops != nullptr ? ops : &DefaultKernelOps()) {
   HSGD_CHECK(model != nullptr);
   const int32_t num_users = model_->num_rows();
   const int32_t num_items = model_->num_cols();
@@ -74,7 +75,6 @@ StatusOr<std::vector<ScoredItem>> Recommender::TopK(int32_t user,
                                              k));
   }
   const int32_t num_items = model_->num_cols();
-  const int dim = model_->k();
   const float* p = model_->Row(user);
 
   // better(a, b): a outranks b — higher score, ties to the smaller item
@@ -91,25 +91,37 @@ StatusOr<std::vector<ScoredItem>> Recommender::TopK(int32_t user,
   const int64_t rated_begin = rated_offsets_[static_cast<size_t>(user)];
   const int64_t rated_end = rated_offsets_[static_cast<size_t>(user) + 1];
   int64_t rated_cursor = rated_begin;
-  for (int32_t v = 0; v < num_items; ++v) {
-    // The exclusion list is sorted, so one forward cursor skips rated
-    // items in O(1) amortized instead of a per-item binary search.
-    while (rated_cursor < rated_end &&
-           rated_items_[static_cast<size_t>(rated_cursor)] < v) {
-      ++rated_cursor;
-    }
-    if (rated_cursor < rated_end &&
-        rated_items_[static_cast<size_t>(rated_cursor)] == v) {
-      continue;
-    }
-    const float* q = model_->Col(v);
-    float score = 0.0f;
-    for (int d = 0; d < dim; ++d) score += p[d] * q[d];
-    if (static_cast<int>(heap.size()) < k) {
-      heap.push({v, score});
-    } else if (better(ScoredItem{v, score}, heap.top())) {
-      heap.pop();
-      heap.push({v, score});
+  // Score the catalog in tiles through the batch dot-scoring kernel (one
+  // indirect call per tile, SIMD inside), then walk each tile with the
+  // exclusion cursor. Scoring a rated item and discarding it is cheaper
+  // than breaking the batch around it.
+  constexpr int32_t kTile = 1024;
+  std::vector<float> scores(static_cast<size_t>(
+      std::min(kTile, std::max<int32_t>(num_items, 1))));
+  for (int32_t tile_begin = 0; tile_begin < num_items;
+       tile_begin += kTile) {
+    const int32_t count = std::min(kTile, num_items - tile_begin);
+    ops_->score_block(p, model_->q_data(), model_->stride(), model_->k(),
+                      tile_begin, count, scores.data());
+    for (int32_t i = 0; i < count; ++i) {
+      const int32_t v = tile_begin + i;
+      // The exclusion list is sorted, so one forward cursor skips rated
+      // items in O(1) amortized instead of a per-item binary search.
+      while (rated_cursor < rated_end &&
+             rated_items_[static_cast<size_t>(rated_cursor)] < v) {
+        ++rated_cursor;
+      }
+      if (rated_cursor < rated_end &&
+          rated_items_[static_cast<size_t>(rated_cursor)] == v) {
+        continue;
+      }
+      const float score = scores[static_cast<size_t>(i)];
+      if (static_cast<int>(heap.size()) < k) {
+        heap.push({v, score});
+      } else if (better(ScoredItem{v, score}, heap.top())) {
+        heap.pop();
+        heap.push({v, score});
+      }
     }
   }
 

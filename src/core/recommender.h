@@ -29,8 +29,11 @@ class Recommender {
   /// `model` is borrowed and must outlive the recommender. `rated` lists
   /// the known (user, item) interactions to exclude from results —
   /// typically the training ratings; entries outside the model's
-  /// dimensions are ignored.
-  Recommender(const Model* model, const Ratings& rated);
+  /// dimensions are ignored. `ops` selects the scoring kernel variant
+  /// (batch dot-scoring over the aligned factor tiles); null means the
+  /// auto-dispatched default.
+  Recommender(const Model* model, const Ratings& rated,
+              const KernelOps* ops = nullptr);
 
   /// The `k` highest-scoring items for `user` (score = p_u . q_v),
   /// excluding items the user already rated. Sorted by descending score;
@@ -47,6 +50,7 @@ class Recommender {
 
  private:
   const Model* model_;
+  const KernelOps* ops_;
   /// CSR-style per-user exclusion lists: items of user u live in
   /// rated_items_[rated_offsets_[u] .. rated_offsets_[u + 1]), sorted.
   std::vector<int64_t> rated_offsets_;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/checkpoint.h"
+#include "core/kernels/calibrator.h"
 #include "sched/star_scheduler.h"
 #include "sched/uniform_scheduler.h"
 #include "util/logging.h"
@@ -135,6 +136,31 @@ Status Session::Init() {
   const int32_t cols = dataset_.num_cols;
   const int64_t n = dataset_.train_size();
   is_star_ = algo == Algorithm::kHsgdStar;
+
+  // Resolve the compute kernel up front and pin the concrete choice into
+  // the config: everything downstream (cost model, checkpoints) must see
+  // the variant actually running, not "auto".
+  {
+    auto resolved = ResolveKernelKind(config_.kernel);
+    if (!resolved.ok()) return resolved.status();
+    config_.kernel = *resolved;
+    kernel_ops_ = &GetKernelOps(*resolved);
+  }
+  if (config_.calibrate) {
+    const KernelCalibration cal = CalibrateKernel(config_.kernel, k);
+    HSGD_LOG(Info) << "calibrated " << KernelKindName(cal.kernel)
+                   << " kernel at k=" << k << ": "
+                   << cal.updates_per_sec / 1e6 << "M updates/s ("
+                   << cal.updates_per_sec_k128 / 1e6
+                   << "M at the k=128 convention); overriding "
+                      "cpu.updates_per_sec_k128="
+                   << config_.hardware.cpu.updates_per_sec_k128 / 1e6
+                   << "M";
+    config_.hardware.cpu.updates_per_sec_k128 = cal.updates_per_sec_k128;
+    // The measured rate is now part of the config; checkpoints restore it
+    // verbatim instead of re-measuring (keeps resume bit-identical).
+    config_.calibrate = false;
+  }
 
   // Per-run device speed draw. The cost model below always plans with the
   // nominal specs — the gap between plan and reality is what the dynamic
@@ -400,7 +426,8 @@ StatusOr<TracePoint> Session::RunEpoch() {
     }
     // The real update: the simulator decided *when*, the kernel does
     // the arithmetic.
-    SgdUpdateBlock(model_.get(), matrix_.BlockRatings(task->block), hyper);
+    SgdUpdateBlock(model_.get(), matrix_.BlockRatings(task->block), hyper,
+                   kernel_ops_);
 
     SimTime finish, next_free, proc;
     if (workers_[w].gpu != nullptr) {
@@ -505,10 +532,12 @@ StatusOr<TracePoint> Session::RunEpoch() {
   }
   clock_ = epoch_end;  // epoch barrier: evaluate, then start together
 
-  double train_rmse = Rmse(*model_, dataset_.train, eval_pool_.get());
-  double test_rmse = dataset_.test.empty()
-                         ? train_rmse
-                         : Rmse(*model_, dataset_.test, eval_pool_.get());
+  double train_rmse =
+      Rmse(*model_, dataset_.train, eval_pool_.get(), kernel_ops_);
+  double test_rmse =
+      dataset_.test.empty()
+          ? train_rmse
+          : Rmse(*model_, dataset_.test, eval_pool_.get(), kernel_ops_);
   TracePoint point;
   point.epoch = epoch;
   point.time = clock_;
@@ -589,8 +618,10 @@ Status Session::SaveCheckpoint(const std::string& path) const {
     ckpt.gpu_streams.push_back(gpu->stream_state());
   }
   ckpt.trace = trace_.points;
-  ckpt.p.assign(model_->p_data(), model_->p_data() + model_->p_size());
-  ckpt.q.assign(model_->q_data(), model_->q_data() + model_->q_size());
+  // Dense (stride-free) factors: checkpoint layout is independent of the
+  // SIMD padding, so files round-trip across kernel builds.
+  ckpt.p = model_->DenseP();
+  ckpt.q = model_->DenseQ();
   return WriteCheckpoint(path, ckpt);
 }
 
@@ -615,8 +646,8 @@ StatusOr<std::unique_ptr<Session>> Session::Restore(const std::string& path,
 }
 
 Status Session::InstallCheckpoint(const SessionCheckpoint& ckpt) {
-  if (ckpt.p.size() != model_->p_size() ||
-      ckpt.q.size() != model_->q_size()) {
+  if (ckpt.p.size() != model_->dense_p_size() ||
+      ckpt.q.size() != model_->dense_q_size()) {
     return Status::InvalidArgument(
         "checkpoint factor matrices do not match the session's model "
         "dimensions");
@@ -630,8 +661,7 @@ Status Session::InstallCheckpoint(const SessionCheckpoint& ckpt) {
     return Status::InvalidArgument(
         "checkpoint epoch counter disagrees with its trace");
   }
-  std::copy(ckpt.p.begin(), ckpt.p.end(), model_->p_data());
-  std::copy(ckpt.q.begin(), ckpt.q.end(), model_->q_data());
+  model_->SetDense(ckpt.p, ckpt.q);
   scheduler_->set_rng_state(ckpt.scheduler_rng);
   scheduler_->set_steal_counters(ckpt.stolen_by_gpus, ckpt.stolen_by_cpus);
   for (size_t g = 0; g < gpu_devices_.size(); ++g) {

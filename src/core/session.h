@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/kernels/kernels.h"
 #include "core/model.h"
 #include "core/types.h"
 #include "sched/blocked_matrix.h"
@@ -74,6 +75,20 @@ struct TrainConfig {
   bool dynamic_scheduling = true;
   /// Real threads used for RMSE evaluation (not simulated).
   int eval_threads = 8;
+  /// Compute-kernel variant for the real SGD/RMSE arithmetic. kAuto is
+  /// resolved to the best usable variant at Create time and the RESOLVED
+  /// kind is what `config()` reports and checkpoints persist — so a
+  /// resumed run replays the same numerics bit-for-bit, and restoring on
+  /// a machine that lacks the recorded kernel fails loudly instead of
+  /// silently diverging.
+  KernelKind kernel = KernelKind::kAuto;
+  /// Micro-measure the chosen kernel's real update rate at the dataset's
+  /// rank (core/kernels/calibrator.h) and override
+  /// hardware.cpu.updates_per_sec_k128 with it, so the simulator's cost
+  /// model plans with this machine's measured speed instead of the
+  /// paper's testbed rate. The measured value (not the flag) is what
+  /// checkpoints persist; a restored session never re-measures.
+  bool calibrate = false;
 };
 
 struct TracePoint {
@@ -197,7 +212,12 @@ class Session {
   /// session's lifetime; pair with core/recommender.h for top-k serving.
   const Model& model() const { return *model_; }
   const Dataset& dataset() const { return dataset_; }
+  /// Note: `config().kernel` is the resolved concrete kind (never kAuto)
+  /// and `config().calibrate` is false once Create has applied it — the
+  /// stored config reproduces this session without re-resolution.
   const TrainConfig& config() const { return config_; }
+  /// The resolved compute-kernel variant this session runs with.
+  KernelKind kernel() const { return config_.kernel; }
   /// The cost model's planned GPU work share (HSGD* only; 0 otherwise).
   double planned_alpha() const { return planned_alpha_; }
 
@@ -240,6 +260,7 @@ class Session {
   // ---- Fixed execution state (deterministic from dataset + config) ----
   bool is_star_ = false;
   double planned_alpha_ = 0.0;
+  const KernelOps* kernel_ops_ = nullptr;
   CpuDeviceSpec drawn_cpu_spec_;  // after the per-run variability draw
   GpuDeviceSpec drawn_gpu_spec_;
   BlockedMatrix matrix_;

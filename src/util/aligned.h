@@ -1,0 +1,35 @@
+// Cache-line-aligned float allocation for the factor matrices. The SIMD
+// kernels rely on rows starting at 64-byte boundaries (no split-line
+// loads) and on the allocation being zero-filled — the layout's padding
+// lanes must read 0.0f and the SGD update preserves zeros, so vector
+// loops may sweep whole padded rows without masking.
+
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+namespace hsgd {
+
+struct AlignedFreeDeleter {
+  void operator()(float* p) const noexcept { std::free(p); }
+};
+
+using AlignedFloatPtr = std::unique_ptr<float[], AlignedFreeDeleter>;
+
+/// `count` floats, 64-byte aligned, zero-filled. Never returns null —
+/// allocation failure aborts (matching operator new's default stance).
+inline AlignedFloatPtr AllocateAlignedFloats(size_t count) {
+  constexpr size_t kAlignment = 64;
+  // aligned_alloc requires a size that is a multiple of the alignment.
+  size_t bytes = count * sizeof(float);
+  bytes = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  if (bytes == 0) bytes = kAlignment;
+  float* p = static_cast<float*>(std::aligned_alloc(kAlignment, bytes));
+  if (p == nullptr) std::abort();
+  std::memset(p, 0, bytes);
+  return AlignedFloatPtr(p);
+}
+
+}  // namespace hsgd

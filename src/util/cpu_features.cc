@@ -1,0 +1,58 @@
+#include "util/cpu_features.h"
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace hsgd {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// XCR0 via xgetbv, encoded as raw bytes so the TU needs no -mxsave.
+uint64_t ReadXcr0() {
+  unsigned int eax = 0, edx = 0;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0"  // xgetbv
+                   : "=a"(eax), "=d"(edx)
+                   : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  f.avx = (ecx & (1u << 28)) != 0;
+  f.fma = (ecx & (1u << 12)) != 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx2 = (ebx & (1u << 5)) != 0;
+    f.avx512f = (ebx & (1u << 16)) != 0;
+  }
+  if (osxsave) {
+    const uint64_t xcr0 = ReadXcr0();
+    // SSE (bit 1) + YMM (bit 2) state saved.
+    f.os_ymm = (xcr0 & 0x6) == 0x6;
+    // Additionally opmask (5) + ZMM low (6) + ZMM high (7).
+    f.os_zmm = (xcr0 & 0xE6) == 0xE6;
+  }
+  return f;
+}
+
+#else
+
+CpuFeatures Detect() { return CpuFeatures{}; }
+
+#endif
+
+}  // namespace
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+}  // namespace hsgd

@@ -1,0 +1,32 @@
+// Runtime x86 feature detection for the kernel dispatcher (cpuid +
+// xgetbv). The "usable" flags below fold three conditions together: the
+// CPU advertises the instruction set, the OS saves the corresponding
+// register state across context switches (XCR0), and — for FMA — the
+// companion extension the kernels assume is also present. On non-x86
+// targets every flag is false and the dispatcher falls back to scalar.
+
+#pragma once
+
+namespace hsgd {
+
+struct CpuFeatures {
+  // Raw cpuid bits.
+  bool avx = false;
+  bool fma = false;
+  bool avx2 = false;
+  bool avx512f = false;
+  // OS has enabled saving of the YMM / ZMM+opmask register state.
+  bool os_ymm = false;
+  bool os_zmm = false;
+
+  /// AVX2 kernels are runnable: AVX2 + FMA + OS YMM state.
+  bool avx2_usable() const { return avx2 && fma && os_ymm; }
+  /// AVX-512 kernels are runnable: AVX-512F + FMA + OS ZMM state.
+  bool avx512_usable() const { return avx512f && fma && os_zmm; }
+};
+
+/// Detected once on first call, then cached (detection is a handful of
+/// cpuid leaves — cheap, but callers sit on hot dispatch paths).
+const CpuFeatures& GetCpuFeatures();
+
+}  // namespace hsgd

@@ -1,0 +1,32 @@
+#include "util/parallel_reduce.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace hsgd {
+
+double ParallelReduce(ThreadPool* pool, int64_t n, int64_t grain,
+                      const std::function<double(int64_t, int64_t)>& fn) {
+  if (n <= 0) return 0.0;
+  if (grain < 1) grain = 1;
+  const int64_t num_chunks = (n + grain - 1) / grain;
+  std::vector<double> partial(static_cast<size_t>(num_chunks), 0.0);
+  auto run_chunk = [&](int64_t lo, int64_t hi) {
+    partial[static_cast<size_t>(lo / grain)] = fn(lo, hi);
+  };
+  if (pool != nullptr && pool->size() > 0) {
+    pool->ParallelFor(0, n, grain, run_chunk);
+  } else {
+    for (int64_t lo = 0; lo < n; lo += grain) {
+      run_chunk(lo, std::min(lo + grain, n));
+    }
+  }
+  // Fixed-order reduction => identical result for any pool size.
+  double sum = 0.0;
+  for (double x : partial) sum += x;
+  return sum;
+}
+
+}  // namespace hsgd

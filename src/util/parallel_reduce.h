@@ -1,0 +1,23 @@
+// Deterministic parallel sum over an index range: [0, n) is split into
+// fixed chunks of `grain` items, `fn(lo, hi)` produces each chunk's
+// partial, and the partials are added in chunk order — so the result is
+// bit-identical for any pool size (including no pool at all). This is the
+// reduction shape the SGD/RMSE paths need for reproducible traces; it was
+// previously hand-rolled per call site in core/model.cc.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace hsgd {
+
+class ThreadPool;
+
+/// Sum of fn(lo, hi) over [0, n) chunked by `grain` (>= 1). `pool` may be
+/// null or empty for serial evaluation; the chunk decomposition — and
+/// therefore the reduction order — does not depend on it.
+double ParallelReduce(ThreadPool* pool, int64_t n, int64_t grain,
+                      const std::function<double(int64_t, int64_t)>& fn);
+
+}  // namespace hsgd

@@ -419,15 +419,12 @@ void TestRecommenderTopK() {
       EXPECT_FALSE(rated[static_cast<size_t>(item.item)]);
     }
 
-    // Brute force agreement: same items, same order.
+    // Brute force agreement: same items, same order. Predict and TopK's
+    // batch scorer share one dot kernel, so scores match bitwise.
     std::vector<ScoredItem> all;
     for (int32_t v = 0; v < ds.num_cols; ++v) {
       if (rated[static_cast<size_t>(v)]) continue;
-      float score = 0.0f;
-      for (int d = 0; d < model.k(); ++d) {
-        score += model.Row(user)[d] * model.Col(v)[d];
-      }
-      all.push_back({v, score});
+      all.push_back({v, model.Predict(user, v)});
     }
     std::sort(all.begin(), all.end(),
               [](const ScoredItem& a, const ScoredItem& b) {
