@@ -72,6 +72,9 @@ inline std::vector<FlagSpec> SharedFlagSpecs() {
        "rating-dump format for --data: movielens, netflix or csv"},
       {"test-split", "<frac>",
        "held-out fraction of loaded ratings (default 0.1)"},
+      {"max-bad-lines", "<n>",
+       "quarantine up to n malformed --data lines instead of failing "
+       "(default 0: strict)"},
       {"kernel", "<name>",
        "SGD/scoring kernel: auto, scalar, avx2, avx512 (default auto)"},
       {"calibrate", "",
@@ -128,6 +131,9 @@ inline BenchContext ParseContext(int argc, char** argv,
         << format.status().message();
     io::LoadOptions load_options;
     load_options.threads = std::max(1, ctx.threads);
+    load_options.max_bad_lines = ctx.flags.GetInt("max-bad-lines", 0);
+    HSGD_CHECK(load_options.max_bad_lines >= 0)
+        << "--max-bad-lines must be >= 0";
     io::DatasetOptions dataset_options;
     dataset_options.test_fraction =
         ctx.flags.GetDouble("test-split", 0.1);
@@ -140,10 +146,12 @@ inline BenchContext ParseContext(int argc, char** argv,
     ctx.presets.push_back(*format == io::DataFormat::kNetflix
                               ? DatasetPreset::kNetflix
                               : DatasetPreset::kMovieLens);
-  } else if (ctx.flags.Has("format") || ctx.flags.Has("test-split")) {
+  } else if (ctx.flags.Has("format") || ctx.flags.Has("test-split") ||
+             ctx.flags.Has("max-bad-lines")) {
     // Same strict-CLI stance as unknown flags: a data flag that silently
     // does nothing hides a mistake.
-    HSGD_LOG(Fatal) << "--format/--test-split only apply with --data";
+    HSGD_LOG(Fatal)
+        << "--format/--test-split/--max-bad-lines only apply with --data";
   } else if (list.empty()) {
     ctx.presets.assign(std::begin(kAllPresets), std::end(kAllPresets));
   } else {

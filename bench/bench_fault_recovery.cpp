@@ -1,0 +1,274 @@
+// Fault-recovery bench: runs the scripted fault scenario matrix against
+// a fault-free baseline and reports convergence + recovery accounting as
+// BENCH_fault.json (the chaos artifact CI uploads).
+//
+// Scenarios, per dataset:
+//   baseline    fault subsystem never attached
+//   zerofault   empty plan attached — must be BIT-IDENTICAL to baseline
+//   crash50     GPU 0 dies halfway through the middle epoch
+//   straggler   CPU 0 wedges to 4x (below the watchdog factor) for good
+//   flakylink   6 PCIe transfers on GPU 0's link fail mid-epoch
+//   killresume  autosaving run is abandoned mid-training, restored from
+//               its autosave, the plan re-attached, and driven to the
+//               same epoch budget
+//
+// The two acceptance gates (exit 1 when violated):
+//   - zerofault reproduces baseline exactly (trace, factors, clock);
+//   - crash50's final test RMSE is within 2% of baseline's.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/checkpoint.h"
+#include "fault/fault_plan.h"
+
+namespace hsgd::bench {
+namespace {
+
+struct ScenarioResult {
+  std::string name;
+  std::string plan;
+  Status status = Status::Ok();
+  Trace trace;
+  TrainStats stats;
+  FaultStats fault;
+  std::vector<float> p, q;
+  int epochs_run = 0;
+};
+
+uint64_t Fnv1a(const std::vector<float>& values, uint64_t hash) {
+  const unsigned char* bytes =
+      reinterpret_cast<const unsigned char*>(values.data());
+  for (size_t i = 0; i < values.size() * sizeof(float); ++i) {
+    hash = (hash ^ bytes[i]) * 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t FactorChecksum(const ScenarioResult& r) {
+  return Fnv1a(r.q, Fnv1a(r.p, 14695981039346656037ull));
+}
+
+void Capture(Session* session, ScenarioResult* out) {
+  out->trace = session->trace();
+  out->stats = session->stats();
+  out->fault = session->fault_stats();
+  out->p = session->model().DenseP();
+  out->q = session->model().DenseQ();
+  out->epochs_run = session->epochs_run();
+}
+
+/// One full run. `plan_text == nullptr` leaves the fault subsystem
+/// entirely unattached (the disabled baseline).
+ScenarioResult RunScenario(const std::string& name, const Dataset& ds,
+                           const TrainConfig& cfg, const char* plan_text) {
+  ScenarioResult result;
+  result.name = name;
+  result.plan = plan_text == nullptr ? "" : plan_text;
+  auto session = Session::Create(ds, cfg);
+  HSGD_CHECK_OK(session.status());
+  if (plan_text != nullptr) {
+    auto plan = FaultPlan::Parse(plan_text);
+    HSGD_CHECK_OK(plan.status());
+    HSGD_CHECK_OK((*session)->SetFaultPlan(*plan));
+  }
+  result.status = (*session)->RunToCompletion();
+  HSGD_CHECK_OK(result.status) << "scenario " << name;
+  Capture(session->get(), &result);
+  return result;
+}
+
+/// Abandon an autosaving faulted run halfway, restore from its autosave,
+/// re-attach the plan (runtime fault state is deliberately not
+/// checkpointed), and drive to the full budget.
+ScenarioResult RunKillResume(const Dataset& ds, const TrainConfig& base,
+                             const std::string& plan_text) {
+  ScenarioResult result;
+  result.name = "killresume";
+  result.plan = plan_text;
+  TrainConfig cfg = base;
+  cfg.fault.autosave_every = 2;
+  cfg.fault.autosave_path = "bench_fault_recovery_autosave.ckpt";
+  std::remove(cfg.fault.autosave_path.c_str());
+
+  auto plan = FaultPlan::Parse(plan_text);
+  HSGD_CHECK_OK(plan.status());
+  {
+    auto session = Session::Create(ds, cfg);
+    HSGD_CHECK_OK(session.status());
+    HSGD_CHECK_OK((*session)->SetFaultPlan(*plan));
+    const int stop_after = std::max(2, cfg.max_epochs / 2);
+    while (!(*session)->Done() &&
+           (*session)->epochs_run() < stop_after) {
+      HSGD_CHECK_OK((*session)->RunEpoch().status());
+    }
+    // "kill -9": the session object is simply dropped here.
+  }
+  auto resumed = Session::Restore(cfg.fault.autosave_path, ds);
+  HSGD_CHECK_OK(resumed.status());
+  HSGD_CHECK_OK((*resumed)->SetFaultPlan(*plan));
+  result.status = (*resumed)->RunToCompletion();
+  HSGD_CHECK_OK(result.status) << "scenario killresume (post-restore)";
+  Capture(resumed->get(), &result);
+  std::remove(cfg.fault.autosave_path.c_str());
+  return result;
+}
+
+bool BitIdentical(const ScenarioResult& a, const ScenarioResult& b) {
+  if (a.trace.points.size() != b.trace.points.size()) return false;
+  for (size_t i = 0; i < a.trace.points.size(); ++i) {
+    const TracePoint& x = a.trace.points[i];
+    const TracePoint& y = b.trace.points[i];
+    if (x.epoch != y.epoch || x.time != y.time ||
+        x.test_rmse != y.test_rmse || x.train_rmse != y.train_rmse) {
+      return false;
+    }
+  }
+  return a.p == b.p && a.q == b.q &&
+         a.stats.sim_seconds == b.stats.sim_seconds;
+}
+
+double FinalRmse(const ScenarioResult& r) {
+  return r.trace.points.empty() ? 0.0 : r.trace.points.back().test_rmse;
+}
+
+void PrintScenario(const ScenarioResult& r, double baseline_rmse) {
+  std::printf(
+      "%-10s  sim %8.4fs  rmse %.6f (%+.3f%%)  lost %d  revoked %lld  "
+      "requeued %lld  dropped %lld  xfer %lld%s\n",
+      r.name.c_str(), r.stats.sim_seconds, FinalRmse(r),
+      baseline_rmse > 0.0 ? (FinalRmse(r) / baseline_rmse - 1.0) * 100.0
+                          : 0.0,
+      r.fault.devices_lost, static_cast<long long>(r.fault.leases_revoked),
+      static_cast<long long>(r.fault.blocks_requeued),
+      static_cast<long long>(r.fault.blocks_lost),
+      static_cast<long long>(r.fault.transfer_faults),
+      r.fault.degraded ? "  [degraded]" : "");
+}
+
+void JsonScenario(FILE* f, const ScenarioResult& r, double baseline_rmse,
+                  bool last) {
+  std::fprintf(
+      f,
+      "      {\"name\": \"%s\", \"plan\": \"%s\", \"epochs_run\": %d, "
+      "\"sim_seconds\": %.9g, \"final_test_rmse\": %.9g, "
+      "\"rmse_ratio_vs_baseline\": %.9g, \"devices_lost\": %d, "
+      "\"leases_revoked\": %lld, \"blocks_requeued\": %lld, "
+      "\"blocks_lost\": %lld, \"transfer_faults\": %lld, "
+      "\"checkpoint_failures\": %lld, \"autosave_failures\": %lld, "
+      "\"degraded\": %s, \"factor_checksum\": \"%016llx\"}%s\n",
+      r.name.c_str(), r.plan.c_str(), r.epochs_run, r.stats.sim_seconds,
+      FinalRmse(r),
+      baseline_rmse > 0.0 ? FinalRmse(r) / baseline_rmse : 0.0,
+      r.fault.devices_lost, static_cast<long long>(r.fault.leases_revoked),
+      static_cast<long long>(r.fault.blocks_requeued),
+      static_cast<long long>(r.fault.blocks_lost),
+      static_cast<long long>(r.fault.transfer_faults),
+      static_cast<long long>(r.fault.checkpoint_failures),
+      static_cast<long long>(r.fault.autosave_failures),
+      r.fault.degraded ? "true" : "false",
+      static_cast<unsigned long long>(FactorChecksum(r)),
+      last ? "" : ",");
+}
+
+}  // namespace
+}  // namespace hsgd::bench
+
+int main(int argc, char** argv) {
+  using namespace hsgd;
+  using namespace hsgd::bench;
+
+  BenchContext ctx = ParseContext(
+      argc, argv, /*default_epochs=*/8,
+      {{"out", "<path>",
+        "JSON report path (default BENCH_fault.json)"}});
+  const std::string out_path =
+      ctx.flags.GetString("out", "BENCH_fault.json");
+
+  const int mid_epoch = std::max(1, ctx.max_epochs / 2);
+  const int late_epoch = std::min(2, ctx.max_epochs);
+  const std::string crash_plan =
+      StrFormat("crash:gpu0@e%d+0.5", mid_epoch);
+  const std::string straggler_plan =
+      StrFormat("slow:cpu0@e%d+0.25x4", late_epoch);
+  const std::string link_plan =
+      StrFormat("link:gpu0@e%d+0.25n6", late_epoch);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  HSGD_CHECK(f != nullptr) << "cannot write " << out_path;
+  std::fprintf(f,
+               "{\n  \"bench\": \"fault_recovery\",\n"
+               "  \"epochs\": %d,\n  \"seed\": %llu,\n  \"datasets\": [\n",
+               ctx.max_epochs,
+               static_cast<unsigned long long>(ctx.seed));
+
+  bool all_accepted = true;
+  for (size_t d = 0; d < ctx.presets.size(); ++d) {
+    const DatasetPreset preset = ctx.presets[d];
+    const std::string title = DatasetTitle(ctx, preset);
+    // One load/generation per dataset; Session copies it, so every
+    // scenario trains on identical bytes.
+    const Dataset ds = MakeBenchDataset(preset, ctx);
+    TrainConfig cfg = MakeConfig(Algorithm::kHsgdStar, ctx);
+    cfg.max_epochs = ctx.max_epochs;
+    cfg.use_dataset_target = false;  // all scenarios run the full budget
+
+    PrintHeader("fault recovery: " + title);
+    std::vector<ScenarioResult> results;
+    results.push_back(RunScenario("baseline", ds, cfg, nullptr));
+    const double baseline_rmse = FinalRmse(results.front());
+    results.push_back(RunScenario("zerofault", ds, cfg, ""));
+    results.push_back(
+        RunScenario("crash50", ds, cfg, crash_plan.c_str()));
+    results.push_back(
+        RunScenario("straggler", ds, cfg, straggler_plan.c_str()));
+    results.push_back(
+        RunScenario("flakylink", ds, cfg, link_plan.c_str()));
+    results.push_back(RunKillResume(ds, cfg, crash_plan));
+    for (const ScenarioResult& r : results) {
+      PrintScenario(r, baseline_rmse);
+    }
+
+    // Acceptance gates.
+    const bool zerofault_identical =
+        BitIdentical(results[0], results[1]);
+    const double crash_ratio =
+        baseline_rmse > 0.0 ? FinalRmse(results[2]) / baseline_rmse : 0.0;
+    const bool crash_converged = std::fabs(crash_ratio - 1.0) <= 0.02;
+    const bool accepted = zerofault_identical && crash_converged;
+    all_accepted = all_accepted && accepted;
+    std::printf(
+        "zerofault bitwise == baseline: %s;  crash50 rmse ratio %.5f "
+        "(|ratio-1| <= 0.02): %s\n",
+        zerofault_identical ? "yes" : "NO",
+        crash_ratio, crash_converged ? "ok" : "VIOLATED");
+
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\",\n     \"scenarios\": [\n",
+                 title.c_str());
+    for (size_t i = 0; i < results.size(); ++i) {
+      JsonScenario(f, results[i], baseline_rmse,
+                   i + 1 == results.size());
+    }
+    std::fprintf(f,
+                 "     ],\n     \"zerofault_bitwise_identical\": %s,\n"
+                 "     \"crash50_rmse_ratio\": %.9g,\n"
+                 "     \"accepted\": %s}%s\n",
+                 zerofault_identical ? "true" : "false", crash_ratio,
+                 accepted ? "true" : "false",
+                 d + 1 == ctx.presets.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n  \"accepted\": %s\n}\n",
+               all_accepted ? "true" : "false");
+  std::fclose(f);
+
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (!all_accepted) {
+    std::fprintf(stderr, "FAILED: fault-recovery acceptance violated\n");
+    return 1;
+  }
+  return 0;
+}

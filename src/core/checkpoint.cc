@@ -51,13 +51,34 @@ DatasetFingerprint FingerprintDataset(const Dataset& dataset) {
 
 namespace {
 
+/// Write failpoint (tests): fail after this many bytes; < 0 disabled.
+int64_t g_write_failpoint = -1;
+
 class Writer {
  public:
   explicit Writer(FILE* f) : f_(f) {}
   bool ok() const { return ok_; }
 
   void Bytes(const void* data, size_t bytes) {
-    if (ok_ && std::fwrite(data, 1, bytes, f_) != bytes) ok_ = false;
+    if (!ok_) return;
+    if (g_write_failpoint >= 0) {
+      // Simulate a short write at the failpoint: part of the payload
+      // lands on disk, then the device reports no space.
+      const int64_t room = g_write_failpoint - written_;
+      if (room < static_cast<int64_t>(bytes)) {
+        if (room > 0) {
+          std::fwrite(data, 1, static_cast<size_t>(room), f_);
+          written_ += room;
+        }
+        ok_ = false;
+        return;
+      }
+    }
+    if (std::fwrite(data, 1, bytes, f_) != bytes) {
+      ok_ = false;
+      return;
+    }
+    written_ += static_cast<int64_t>(bytes);
   }
   void U8(uint8_t v) { Bytes(&v, sizeof(v)); }
   void I32(int32_t v) { Bytes(&v, sizeof(v)); }
@@ -69,6 +90,7 @@ class Writer {
  private:
   FILE* f_;
   bool ok_ = true;
+  int64_t written_ = 0;
 };
 
 class Reader {
@@ -79,6 +101,8 @@ class Reader {
   void Bytes(void* data, size_t bytes) {
     if (ok_ && std::fread(data, 1, bytes, f_) != bytes) ok_ = false;
   }
+  /// Poison the stream on a semantic error (e.g. an absurd length).
+  void Fail() { ok_ = false; }
   uint8_t U8() { return Get<uint8_t>(); }
   int32_t I32() { return Get<int32_t>(); }
   uint32_t U32() { return Get<uint32_t>(); }
@@ -121,6 +145,18 @@ void WriteConfig(Writer* w, const TrainConfig& config) {
   w->F64(config.hardware.gpu.pcie_d2h_peak_gbps);
   w->F64(config.hardware.gpu.pcie_latency);
   w->F64(config.hardware.gpu.speed_factor);
+  // v4: fault-tolerance policy.
+  w->I32(config.fault.autosave_every);
+  w->U64(config.fault.autosave_path.size());
+  w->Bytes(config.fault.autosave_path.data(),
+           config.fault.autosave_path.size());
+  w->I32(config.fault.checkpoint_retry.max_attempts);
+  w->F64(config.fault.checkpoint_retry.initial_backoff);
+  w->F64(config.fault.checkpoint_retry.multiplier);
+  w->F64(config.fault.checkpoint_retry.jitter);
+  w->F64(config.fault.checkpoint_retry.max_backoff);
+  w->F64(config.fault.lease_deadline_factor);
+  w->I32(static_cast<int32_t>(config.fault.on_device_loss));
 }
 
 /// Range/finiteness checks on a config read back from disk. The fields
@@ -179,6 +215,29 @@ Status ValidateStoredConfig(const TrainConfig& c) {
       c.hardware.gpu.parallel_workers > (1 << 20)) {
     return Status::InvalidArgument("GPU worker count");
   }
+  // v4 fault-policy fields.
+  const int32_t policy = static_cast<int32_t>(c.fault.on_device_loss);
+  if (policy < static_cast<int32_t>(DegradePolicy::kContinueDegraded) ||
+      policy > static_cast<int32_t>(DegradePolicy::kAbort)) {
+    return Status::InvalidArgument("degradation policy");
+  }
+  if (c.fault.autosave_every < 0 || c.fault.autosave_every > (1 << 24) ||
+      c.fault.checkpoint_retry.max_attempts < 1 ||
+      c.fault.checkpoint_retry.max_attempts > 1000) {
+    return Status::InvalidArgument("fault policy counters");
+  }
+  if (!std::isfinite(c.fault.lease_deadline_factor) ||
+      !std::isfinite(c.fault.checkpoint_retry.initial_backoff) ||
+      c.fault.checkpoint_retry.initial_backoff < 0.0 ||
+      !std::isfinite(c.fault.checkpoint_retry.multiplier) ||
+      c.fault.checkpoint_retry.multiplier < 1.0 ||
+      !std::isfinite(c.fault.checkpoint_retry.jitter) ||
+      c.fault.checkpoint_retry.jitter < 0.0 ||
+      c.fault.checkpoint_retry.jitter > 1.0 ||
+      !std::isfinite(c.fault.checkpoint_retry.max_backoff) ||
+      c.fault.checkpoint_retry.max_backoff < 0.0) {
+    return Status::InvalidArgument("fault policy values");
+  }
   return Status::Ok();
 }
 
@@ -207,10 +266,29 @@ TrainConfig ReadConfig(Reader* r) {
   config.hardware.gpu.pcie_d2h_peak_gbps = r->F64();
   config.hardware.gpu.pcie_latency = r->F64();
   config.hardware.gpu.speed_factor = r->F64();
+  config.fault.autosave_every = r->I32();
+  const uint64_t path_len = r->U64();
+  if (path_len <= (1u << 16)) {
+    config.fault.autosave_path.resize(path_len);
+    r->Bytes(config.fault.autosave_path.data(), path_len);
+  } else {
+    r->Fail();  // absurd path length: corrupt file
+  }
+  config.fault.checkpoint_retry.max_attempts = r->I32();
+  config.fault.checkpoint_retry.initial_backoff = r->F64();
+  config.fault.checkpoint_retry.multiplier = r->F64();
+  config.fault.checkpoint_retry.jitter = r->F64();
+  config.fault.checkpoint_retry.max_backoff = r->F64();
+  config.fault.lease_deadline_factor = r->F64();
+  config.fault.on_device_loss = static_cast<DegradePolicy>(r->I32());
   return config;
 }
 
 }  // namespace
+
+void SetCheckpointWriteFailpoint(int64_t bytes) {
+  g_write_failpoint = bytes;
+}
 
 Status WriteCheckpoint(const std::string& path,
                        const SessionCheckpoint& ckpt) {

@@ -42,7 +42,12 @@ inline constexpr uint64_t kCheckpointMagic = 0x485347444348504Bull;  // "HSGDCHP
 // re-resolves the recorded kernel and fails loudly on a machine or build
 // that cannot run it — resuming under a different kernel would silently
 // change the numerics.
-inline constexpr uint32_t kCheckpointVersion = 3;
+// v4: the config additionally carries the FaultPolicy (autosave cadence
+// and path, checkpoint retry, lease deadline factor, degradation
+// policy), so a restored run keeps autosaving the way the original did.
+// Runtime fault state (dead devices, attached FaultPlan) is NOT stored —
+// like observers, plans are re-attached by the caller after Restore.
+inline constexpr uint32_t kCheckpointVersion = 4;
 
 /// Cheap identity of the data a session was trained on. Restore refuses
 /// a dataset whose fingerprint differs — resuming on different ratings
@@ -109,5 +114,14 @@ Status WriteCheckpoint(const std::string& path,
 /// NotFound for a missing file and InvalidArgument for a corrupt or
 /// version-mismatched one.
 StatusOr<SessionCheckpoint> ReadCheckpoint(const std::string& path);
+
+/// Test-only failpoint simulating a short write / ENOSPC: subsequent
+/// WriteCheckpoint calls fail once they have written `bytes` bytes of
+/// the temp file (0 fails immediately). The write error surfaces as an
+/// Internal Status and the temp file is removed — the durability
+/// contract (a previous checkpoint at `path` stays intact and readable)
+/// is what tests assert under this failpoint. Negative clears it.
+/// Process-global and not thread-safe; tests only.
+void SetCheckpointWriteFailpoint(int64_t bytes);
 
 }  // namespace hsgd

@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
 #include <queue>
 #include <utility>
 
 #include "core/checkpoint.h"
 #include "core/kernels/calibrator.h"
+#include "fault/fault_injector.h"
 #include "sched/star_scheduler.h"
 #include "sched/uniform_scheduler.h"
 #include "util/logging.h"
+#include "util/retry.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 
@@ -42,10 +45,14 @@ SimTime Trace::TimeToReach(double rmse) const {
 
 namespace {
 
-/// Heap events: a worker's task completing (kind 0, releases strata) or a
-/// worker becoming ready to acquire (kind 1). Releases sort before
-/// acquires at equal times so freed strata are visible; seq keeps the
-/// order fully deterministic.
+/// Heap events: a worker's task completing (kind 0, releases strata), a
+/// worker becoming ready to acquire (kind 1), or a lease deadline
+/// expiring (kind 2). At equal times releases sort first so freed strata
+/// are visible, then deadlines (a lease that completes exactly at its
+/// deadline wins), then acquires; seq keeps the order fully
+/// deterministic. Deadline events are pushed lazily — only when a
+/// block's actual finish already overshoots the deadline — so a
+/// fault-free epoch's event sequence is exactly the pre-fault one.
 struct Event {
   SimTime time = 0.0;
   int kind = 1;
@@ -55,9 +62,10 @@ struct Event {
 };
 
 struct EventLater {
+  static int Rank(int kind) { return kind == 0 ? 0 : kind == 2 ? 1 : 2; }
   bool operator()(const Event& a, const Event& b) const {
     if (a.time != b.time) return a.time > b.time;
-    if (a.kind != b.kind) return a.kind > b.kind;
+    if (a.kind != b.kind) return Rank(a.kind) > Rank(b.kind);
     return a.seq > b.seq;
   }
 };
@@ -71,6 +79,9 @@ int ClampStrata(int want, int64_t dim) {
 /// finishes one stripe before opening the next, so a lagging GPU always
 /// has a free (yet resident) stripe that idle CPU threads can steal from.
 constexpr int kStripesPerGpu = 2;
+
+/// Simulated timeout that flags a failed PCIe transfer before its retry.
+constexpr SimTime kFaultDetectLatency = 1e-3;
 
 Status ValidateConfig(const Dataset& ds, const TrainConfig& config) {
   if (ds.train.empty()) {
@@ -283,15 +294,20 @@ Status Session::Init() {
   }
 
   // ---- Simulated workers -------------------------------------------------
-  cpu_device_ = std::make_unique<CpuDevice>(drawn_cpu_spec_, k);
   // PCIe cost of a CPU thread pulling a GPU-resident column stripe when
   // it steals from the GPU region (see the steal branch in RunEpoch).
   steal_link_ = std::make_unique<PcieLink>(drawn_gpu_spec_);
   if (wants_cpu) {
     for (int t = 0; t < nc; ++t) {
+      // One CpuDevice per thread: identical specs (so healthy timings
+      // match the old shared device bit-for-bit) but independent health,
+      // letting a straggler fault hit a single thread.
+      cpu_devices_.push_back(
+          std::make_unique<CpuDevice>(drawn_cpu_spec_, k));
       Worker w;
       w.info = {DeviceClass::kCpuThread, t,
                 static_cast<int>(workers_.size())};
+      w.cpu = cpu_devices_.back().get();
       workers_.push_back(w);
     }
   }
@@ -315,13 +331,39 @@ Status Session::Init() {
   eval_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(
       std::min(16, std::max(1, config_.eval_threads))));
 
+  worker_dead_.assign(workers_.size(), 0);
+  workers_alive_ = static_cast<int>(workers_.size());
+  retry_rng_ = Rng(config_.seed, 23);
+
   wall_seconds_ += wall.Seconds();
   return Status::Ok();
 }
 
 bool Session::Done() const {
+  if (failed_) return true;
   if (config_.use_dataset_target && reached_target_) return true;
   return epochs_run_ >= config_.max_epochs;
+}
+
+Status Session::SetFaultPlan(const FaultPlan& plan) {
+  const int nc = config_.hardware.num_cpu_threads;
+  const int ng = config_.hardware.num_gpus;
+  const bool has_cpu = config_.algorithm != Algorithm::kGpuOnly;
+  const bool has_gpu = config_.algorithm != Algorithm::kCpuOnly;
+  for (const FaultSpec& spec : plan.specs) {
+    if (spec.kind == FaultKind::kCheckpointFault) continue;
+    const bool gpu_target = spec.device_class == DeviceClass::kGpu;
+    const int fleet = gpu_target ? (has_gpu ? ng : 0)
+                                 : (has_cpu ? nc : 0);
+    if (spec.device_index >= fleet) {
+      return Status::InvalidArgument(StrFormat(
+          "fault \"%s\" targets %s%d but the session has %d of them",
+          spec.ToString().c_str(), gpu_target ? "gpu" : "cpu",
+          spec.device_index, fleet));
+    }
+  }
+  injector_ = std::make_unique<FaultInjector>(plan);
+  return Status::Ok();
 }
 
 void Session::AddObserver(EpochObserver* observer) {
@@ -355,8 +397,10 @@ void Session::NotifyTargetReached(const TracePoint& point) {
 StatusOr<TracePoint> Session::RunEpoch() {
   if (Done()) {
     return Status::FailedPrecondition(
-        reached_target_ ? "session already reached the dataset target"
-                        : "session already ran its epoch budget");
+        failed_ ? "session permanently failed after device loss"
+        : reached_target_
+            ? "session already reached the dataset target"
+            : "session already ran its epoch budget");
   }
   Stopwatch wall;
   const Algorithm algo = config_.algorithm;
@@ -369,11 +413,145 @@ StatusOr<TracePoint> Session::RunEpoch() {
   NotifyEpochBegin(epoch);
   scheduler_->BeginEpoch();
   const SimTime epoch_start = clock_;
+  const double deadline_factor = config_.fault.lease_deadline_factor;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> pq;
+  int64_t seq = 0;
+  std::vector<char> waiting(static_cast<size_t>(num_workers), 0);
+  SimTime epoch_end = epoch_start;
+  /// Leases currently held: lease id -> (task, worker). Ordered so that
+  /// a device death revokes its leases in issue order, deterministically.
+  std::map<int64_t, std::pair<BlockTask, int>> held;
+  int64_t released = 0;
+
+  auto wake_waiters = [&](SimTime now) {
+    for (int w = 0; w < num_workers; ++w) {
+      if (!waiting[static_cast<size_t>(w)] ||
+          worker_dead_[static_cast<size_t>(w)]) {
+        continue;
+      }
+      waiting[static_cast<size_t>(w)] = 0;
+      Event retry;
+      retry.time = now;
+      retry.kind = 1;
+      retry.seq = seq++;
+      retry.worker = w;
+      pq.push(retry);
+    }
+  };
+
+  auto kill_worker = [&](DeviceClass cls, int index, SimTime now) {
+    for (int w = 0; w < num_workers; ++w) {
+      Worker& worker = workers_[w];
+      if (worker.info.device_class != cls ||
+          worker.info.device_index != index) {
+        continue;
+      }
+      if (worker_dead_[static_cast<size_t>(w)]) return;
+      worker_dead_[static_cast<size_t>(w)] = 1;
+      waiting[static_cast<size_t>(w)] = 0;
+      --workers_alive_;
+      ++fault_stats_.devices_lost;
+      fault_stats_.degraded = true;
+      if (worker.gpu != nullptr) worker.gpu->set_health(MakeDead());
+      if (worker.cpu != nullptr) worker.cpu->set_health(MakeDead());
+      scheduler_->MarkWorkerDead(worker.info);
+      // Revoke the dead worker's in-flight leases in issue order; their
+      // pending release events turn into no-ops (LeaseOutstanding is
+      // checked before any update is applied), so nothing the dead
+      // device "finished" after this instant reaches the model.
+      std::vector<int64_t> revoke;
+      for (const auto& [lease, rec] : held) {
+        if (rec.second == w) revoke.push_back(lease);
+      }
+      for (int64_t lease : revoke) {
+        const BlockTask task = held[lease].first;
+        held.erase(lease);
+        ++fault_stats_.leases_revoked;
+        if (scheduler_->RevokeLease(task)) {
+          ++fault_stats_.blocks_requeued;
+        } else {
+          ++fault_stats_.blocks_lost;
+        }
+      }
+      HSGD_LOG(Warning) << (cls == DeviceClass::kGpu ? "gpu" : "cpu")
+                        << index << " died at t=" << now << " (epoch "
+                        << epoch << "): revoked " << revoke.size()
+                        << " leases, " << workers_alive_
+                        << " workers remain";
+      if (config_.fault.on_device_loss == DegradePolicy::kAbort ||
+          workers_alive_ == 0) {
+        failed_ = true;
+      }
+      wake_waiters(now);
+      return;
+    }
+  };
+
+  auto handle_faults = [&](const std::vector<const FaultSpec*>& fired,
+                           SimTime now) {
+    for (const FaultSpec* spec : fired) {
+      switch (spec->kind) {
+        case FaultKind::kGpuCrash:
+        case FaultKind::kCpuCrash:
+          kill_worker(spec->device_class, spec->device_index, now);
+          break;
+        case FaultKind::kStraggler: {
+          fault_stats_.degraded = true;
+          const DeviceHealth health =
+              MakeDegraded(spec->slowdown, now, spec->duration);
+          for (int w = 0; w < num_workers; ++w) {
+            if (workers_[w].info.device_class != spec->device_class ||
+                workers_[w].info.device_index != spec->device_index ||
+                worker_dead_[static_cast<size_t>(w)]) {
+              continue;
+            }
+            if (workers_[w].gpu != nullptr) {
+              workers_[w].gpu->set_health(health);
+            }
+            if (workers_[w].cpu != nullptr) {
+              workers_[w].cpu->set_health(health);
+            }
+            HSGD_LOG(Warning)
+                << "straggler fault: " << spec->ToString() << " at t="
+                << now;
+          }
+          break;
+        }
+        case FaultKind::kLinkFault:
+          if (spec->device_index <
+              static_cast<int>(gpu_devices_.size())) {
+            fault_stats_.degraded = true;
+            fault_stats_.transfer_faults += spec->count;
+            gpu_devices_[spec->device_index]
+                ->mutable_link()
+                .InjectTransferFaults(spec->count, kFaultDetectLatency);
+            HSGD_LOG(Warning) << "link fault: " << spec->ToString()
+                              << " at t=" << now;
+          }
+          break;
+        case FaultKind::kCheckpointFault:
+          break;  // consumed by autosave attempts, never fires here
+      }
+    }
+  };
+
+  if (injector_ != nullptr) {
+    injector_->BeginEpoch(epoch, scheduler_->remaining_blocks());
+    handle_faults(injector_->Poll(0), epoch_start);
+    if (failed_) {
+      return Status::Internal(
+          workers_alive_ == 0
+              ? "all workers dead; training cannot continue"
+              : "device lost under DegradePolicy::kAbort");
+    }
+  }
 
   // Resident-factor uploads. GPU-Only keeps everything in device memory
   // (one initial upload); HSGD* re-syncs each GPU's column stripe at
-  // every epoch boundary.
+  // every epoch boundary. Dead GPUs are skipped.
   for (int g = 0; g < static_cast<int>(gpu_devices_.size()); ++g) {
+    if (gpu_devices_[g]->health().dead()) continue;
     int64_t bytes = 0;
     if (algo == Algorithm::kGpuOnly && epoch == 1) {
       // Every GPU keeps the full P and Q resident, so each pays the
@@ -397,9 +575,8 @@ StatusOr<TracePoint> Session::RunEpoch() {
   hyper.lambda_p = dataset_.params.lambda_p;
   hyper.lambda_q = dataset_.params.lambda_q;
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> pq;
-  int64_t seq = 0;
   for (int w = 0; w < num_workers; ++w) {
+    if (worker_dead_[static_cast<size_t>(w)]) continue;
     Event e;
     e.time = epoch_start;
     e.kind = 1;
@@ -407,8 +584,6 @@ StatusOr<TracePoint> Session::RunEpoch() {
     e.worker = w;
     pq.push(e);
   }
-  std::vector<char> waiting(static_cast<size_t>(num_workers), 0);
-  SimTime epoch_end = epoch_start;
   // Cross-device column-stripe coherence during the dynamic phase:
   // the first CPU steal from a GPU stripe pulls its resident column
   // factors to the host (one D2H per excursion, not per block); the
@@ -424,12 +599,19 @@ StatusOr<TracePoint> Session::RunEpoch() {
       if (!scheduler_->EpochDone()) waiting[static_cast<size_t>(w)] = 1;
       return;
     }
-    // The real update: the simulator decided *when*, the kernel does
-    // the arithmetic.
-    SgdUpdateBlock(model_.get(), matrix_.BlockRatings(task->block), hyper,
-                   kernel_ops_);
+    // Note the SGD arithmetic is NOT applied here: it runs when the
+    // block's release event commits, so a lease revoked in between
+    // leaves the model untouched and the requeued block applies exactly
+    // once. For conflicting blocks release order equals acquire order
+    // (strata serialization), and non-conflicting blocks touch disjoint
+    // factors, so the commit-at-release numbers are bit-identical to
+    // the old apply-at-acquire ones.
 
     SimTime finish, next_free, proc;
+    // Extra seconds faults added to this block (slowdown, failed
+    // transfers); exactly 0.0 on a healthy run. The lease deadline is
+    // measured against the healthy portion finish - excess.
+    SimTime excess = 0.0;
     if (workers_[w].gpu != nullptr) {
       GpuWorkItem item;
       item.nnz = task->nnz;
@@ -463,24 +645,35 @@ StatusOr<TracePoint> Session::RunEpoch() {
       // blocks hold their strata until the factors are back on host.
       finish = resident_cols ? t.kernel_done : t.d2h_done;
       proc = t.kernel_done - t.h2d_start;
+      excess = (t.d2h_done - t.h2d_start) - t.healthy_span;
       gpu_nnz_ += task->nnz;
     } else {
-      proc = cpu_device_->UpdateTime(task->nnz);
+      proc = workers_[w].cpu->UpdateTimeAt(now, task->nnz);
+      excess = proc - workers_[w].cpu->UpdateTime(task->nnz);
       // A CPU thread stealing from a GPU-resident stripe must first
       // pull the current column factors off the device — one D2H per
       // excursion (later blocks of the same stripe reuse the host
-      // copy); the stripe becomes dirty for the owning GPU.
+      // copy); the stripe becomes dirty for the owning GPU. If the
+      // owning GPU is dead there is nothing newer on the device (block
+      // updates commit to the host model at release), so orphan-stripe
+      // rescues skip the pull.
       if (is_star_ && task->stolen && task->col < kStripesPerGpu * ng) {
-        const size_t s = static_cast<size_t>(task->col);
-        if (!stripe_on_host[s]) {
-          const int64_t col_bytes =
-              static_cast<int64_t>(grid.ColStratumWidth(task->col)) * k *
-              4;
-          proc += steal_link_->TransferTime(
-              col_bytes, TransferDirection::kDeviceToHost);
-          stripe_on_host[s] = 1;
+        const int owner = task->col / kStripesPerGpu;
+        const bool owner_dead =
+            owner < static_cast<int>(gpu_devices_.size()) &&
+            gpu_devices_[static_cast<size_t>(owner)]->health().dead();
+        if (!owner_dead) {
+          const size_t s = static_cast<size_t>(task->col);
+          if (!stripe_on_host[s]) {
+            const int64_t col_bytes =
+                static_cast<int64_t>(grid.ColStratumWidth(task->col)) *
+                k * 4;
+            proc += steal_link_->TransferTime(
+                col_bytes, TransferDirection::kDeviceToHost);
+            stripe_on_host[s] = 1;
+          }
+          stripe_dirty[s] = 1;
         }
-        stripe_dirty[s] = 1;
       }
       finish = now + proc;
       next_free = finish;
@@ -491,6 +684,8 @@ StatusOr<TracePoint> Session::RunEpoch() {
     duration_sumsq_ += duration * duration;
     ++total_tasks_;
     total_nnz_processed_ += task->nnz;
+
+    held[task->lease] = {*task, w};
 
     Event release;
     release.time = finish;
@@ -505,29 +700,112 @@ StatusOr<TracePoint> Session::RunEpoch() {
     ready.seq = seq++;
     ready.worker = w;
     pq.push(ready);
+
+    // Lease watchdog: arm a deadline only when the block is ALREADY
+    // going to overshoot it (a fault is in effect). A healthy block has
+    // excess == 0, so finish == healthy finish and no event is pushed —
+    // fault-free epochs keep the exact pre-fault event sequence.
+    if (deadline_factor > 0.0) {
+      const SimTime healthy_finish = finish - excess;
+      const SimTime deadline =
+          now + deadline_factor * std::max(healthy_finish - now, 1e-9);
+      if (finish > deadline) {
+        Event expiry;
+        expiry.time = deadline;
+        expiry.kind = 2;
+        expiry.seq = seq++;
+        expiry.worker = w;
+        expiry.task = *task;
+        pq.push(expiry);
+      }
+    }
   };
 
   while (!scheduler_->EpochDone()) {
-    HSGD_CHECK(!pq.empty())
-        << "simulation deadlock: pending blocks but no events";
+    if (pq.empty()) {
+      // Blocks are pending but nobody is left (or able) to run them.
+      failed_ = true;
+      return Status::Internal(
+          "simulation stalled: pending blocks but no live workers");
+    }
     Event e = pq.top();
     pq.pop();
     if (e.kind == 0) {
+      // A release whose lease was revoked (holder died or blew the
+      // deadline) is dropped wholesale: its updates are never applied,
+      // so the requeued copy of the block applies exactly once.
+      if (!scheduler_->LeaseOutstanding(e.task.lease)) continue;
+      // The real update: the simulator decided *when*, the kernel does
+      // the arithmetic.
+      SgdUpdateBlock(model_.get(), matrix_.BlockRatings(e.task.block),
+                     hyper, kernel_ops_);
+      held.erase(e.task.lease);
       scheduler_->Release(workers_[e.worker].info, e.task, e.time);
       epoch_end = std::max(epoch_end, e.time);
       // Freed strata may unblock starved workers.
-      for (int w = 0; w < num_workers; ++w) {
-        if (!waiting[static_cast<size_t>(w)]) continue;
-        waiting[static_cast<size_t>(w)] = 0;
-        Event retry;
-        retry.time = e.time;
-        retry.kind = 1;
-        retry.seq = seq++;
-        retry.worker = w;
-        pq.push(retry);
+      wake_waiters(e.time);
+      ++released;
+      if (injector_ != nullptr) {
+        handle_faults(injector_->Poll(static_cast<int>(released)),
+                      e.time);
       }
+    } else if (e.kind == 2) {
+      // Watchdog: the lease's deadline passed. If its release already
+      // committed this is stale — ignore; otherwise revoke and requeue
+      // so a survivor picks the block up.
+      if (!scheduler_->LeaseOutstanding(e.task.lease)) continue;
+      held.erase(e.task.lease);
+      ++fault_stats_.leases_revoked;
+      if (scheduler_->RevokeLease(e.task)) {
+        ++fault_stats_.blocks_requeued;
+      } else {
+        ++fault_stats_.blocks_lost;
+      }
+      HSGD_LOG(Warning) << "lease on block " << e.task.block
+                        << " expired at t=" << e.time
+                        << " (worker " << e.worker << "); requeued";
+      wake_waiters(e.time);
     } else {
-      try_acquire(e.worker, e.time);
+      const int w = e.worker;
+      if (worker_dead_[static_cast<size_t>(w)]) continue;
+      // Degraded-mode scheduling: a worker wedged by at least the
+      // deadline factor would blow the deadline of every block it
+      // takes, so bench it — until the degradation window closes
+      // (transient straggler), or permanently, in which case the
+      // watchdog declares it dead.
+      if (deadline_factor > 0.0) {
+        const DeviceHealth& health = workers_[w].gpu != nullptr
+                                         ? workers_[w].gpu->health()
+                                         : workers_[w].cpu->health();
+        if (health.state == HealthState::kDegraded &&
+            health.SlowdownAt(e.time) >= deadline_factor) {
+          if (health.degraded_until < kSimTimeNever) {
+            Event retry;
+            retry.time = health.degraded_until;
+            retry.kind = 1;
+            retry.seq = seq++;
+            retry.worker = w;
+            pq.push(retry);
+          } else {
+            kill_worker(workers_[w].info.device_class,
+                        workers_[w].info.device_index, e.time);
+          }
+          if (failed_) {
+            return Status::Internal(
+                workers_alive_ == 0
+                    ? "all workers dead; training cannot continue"
+                    : "device lost under DegradePolicy::kAbort");
+          }
+          continue;
+        }
+      }
+      try_acquire(w, e.time);
+    }
+    if (failed_) {
+      return Status::Internal(
+          workers_alive_ == 0
+              ? "all workers dead; training cannot continue"
+              : "device lost under DegradePolicy::kAbort");
     }
   }
   clock_ = epoch_end;  // epoch barrier: evaluate, then start together
@@ -549,6 +827,37 @@ StatusOr<TracePoint> Session::RunEpoch() {
   const bool reached_now =
       config_.use_dataset_target && test_rmse <= dataset_.target_rmse;
   if (reached_now) reached_target_ = true;
+
+  // Periodic autosave with bounded retry. Failures are survivable by
+  // design: training continues on a warning, one stale autosave behind.
+  if (config_.fault.autosave_every > 0 &&
+      !config_.fault.autosave_path.empty() &&
+      epoch % config_.fault.autosave_every == 0) {
+    auto attempt = [&]() -> Status {
+      if (injector_ != nullptr &&
+          injector_->ConsumeCheckpointFault(epoch)) {
+        ++fault_stats_.checkpoint_failures;
+        return Status::Internal("injected checkpoint IO fault");
+      }
+      Status status = SaveCheckpoint(config_.fault.autosave_path);
+      if (!status.ok()) ++fault_stats_.checkpoint_failures;
+      return status;
+    };
+    const Status saved = RetryWithBackoff(
+        config_.fault.checkpoint_retry, &retry_rng_, attempt,
+        [&](int attempt_no, const Status& status) {
+          ++fault_stats_.checkpoint_retries;
+          HSGD_LOG(Warning)
+              << "autosave attempt " << attempt_no << " failed ("
+              << status.ToString() << "); backing off";
+        });
+    if (!saved.ok()) {
+      ++fault_stats_.autosave_failures;
+      HSGD_LOG(Warning) << "autosave to '" << config_.fault.autosave_path
+                        << "' failed after retries: " << saved.ToString();
+    }
+  }
+
   wall_seconds_ += wall.Seconds();
   NotifyEpochEnd(point);
   if (reached_now) NotifyTargetReached(point);

@@ -29,6 +29,7 @@
 #include "core/kernels/kernels.h"
 #include "core/model.h"
 #include "core/types.h"
+#include "fault/fault_plan.h"
 #include "sched/blocked_matrix.h"
 #include "sched/scheduler.h"
 #include "sim/cpu_device.h"
@@ -36,10 +37,13 @@
 #include "sim/gpu_device.h"
 #include "sim/pcie_link.h"
 #include "sim/profiler.h"
+#include "util/retry.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace hsgd {
+
+class FaultInjector;  // fault/fault_injector.h
 
 enum class Algorithm {
   kCpuOnly = 0,
@@ -60,6 +64,50 @@ struct HardwareConfig {
   /// with nominal speeds — correcting the resulting misprediction is the
   /// dynamic phase's job (Table III).
   double speed_variability = 0.25;
+};
+
+/// What a session does when a device dies mid-run.
+enum class DegradePolicy {
+  /// Requeue the dead device's in-flight blocks, redistribute its work
+  /// to the survivors, and keep training (default).
+  kContinueDegraded = 0,
+  /// Fail the epoch with a Status; the caller decides (e.g. restore the
+  /// last autosave on a bigger fleet).
+  kAbort = 1,
+};
+
+/// Fault-tolerance policy knobs. All defaults are inert: no autosave,
+/// and the lease watchdog arms only when a block runs slower than a
+/// healthy device could — a fault-free run never pays anything.
+struct FaultPolicy {
+  /// Autosave a checkpoint every N completed epochs (0 disables).
+  int autosave_every = 0;
+  std::string autosave_path;
+  /// Retry-with-backoff for (auto)checkpoint IO failures.
+  RetryOptions checkpoint_retry;
+  /// A block lease expires when its completion takes longer than this
+  /// multiple of the healthy-device estimate; the block is then revoked
+  /// and requeued on a survivor. A device degraded by at least this
+  /// factor is benched instead of leased new work. <= 0 disables the
+  /// watchdog.
+  double lease_deadline_factor = 8.0;
+  DegradePolicy on_device_loss = DegradePolicy::kContinueDegraded;
+};
+
+/// Counters the fault machinery accumulates over a session's lifetime.
+struct FaultStats {
+  int devices_lost = 0;
+  int64_t leases_revoked = 0;
+  int64_t blocks_requeued = 0;
+  /// Blocks dropped after failing on two different holders (skipped for
+  /// the rest of their epoch; SGD tolerates the missing updates).
+  int64_t blocks_lost = 0;
+  int64_t transfer_faults = 0;
+  int64_t checkpoint_failures = 0;
+  int64_t checkpoint_retries = 0;
+  int64_t autosave_failures = 0;
+  /// True once any fault fired (the run is no longer fault-free).
+  bool degraded = false;
 };
 
 struct TrainConfig {
@@ -89,6 +137,10 @@ struct TrainConfig {
   /// paper's testbed rate. The measured value (not the flag) is what
   /// checkpoints persist; a restored session never re-measures.
   bool calibrate = false;
+  /// Fault-tolerance policy (autosave, checkpoint retry, lease
+  /// watchdog, degradation). Scripted faults themselves are attached at
+  /// runtime via Session::SetFaultPlan, not configured here.
+  FaultPolicy fault;
 };
 
 struct TracePoint {
@@ -225,6 +277,24 @@ class Session {
   void AddObserver(EpochObserver* observer);
   void RemoveObserver(EpochObserver* observer);
 
+  /// Attach a scripted fault plan (validated against this session's
+  /// fleet). Replaces any previous plan; un-fired specs of the old plan
+  /// are forgotten. Like observers, plans are runtime state: they are
+  /// NOT serialized into checkpoints — re-attach after Restore (specs
+  /// whose trigger point is already past fire at the next epoch start).
+  /// An empty (or never-firing) plan leaves the run bit-identical to a
+  /// session with no plan at all.
+  Status SetFaultPlan(const FaultPlan& plan);
+
+  /// Fault-machinery counters accumulated so far (all zero, with
+  /// degraded == false, for a fault-free run).
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// True when a device loss under DegradePolicy::kAbort (or the loss
+  /// of every worker) permanently failed the run. Done() reports true
+  /// and RunEpoch refuses with FailedPrecondition.
+  bool failed() const { return failed_; }
+
   /// Serialize the complete resumable state (config, dataset
   /// fingerprint, factor matrices, virtual clock, RNG streams, device
   /// pipeline state, trace, stat accumulators) to `path`. Written via a
@@ -234,10 +304,13 @@ class Session {
   Status SaveCheckpoint(const std::string& path) const;
 
  private:
-  /// A simulated worker: one CPU thread or one GPU (gpu != nullptr).
+  /// A simulated worker: one CPU thread (cpu != nullptr) or one GPU
+  /// (gpu != nullptr). Each CPU worker carries its own CpuDevice so
+  /// per-thread health (straggler faults) stays per-thread.
   struct Worker {
     WorkerInfo info;
     GpuDevice* gpu = nullptr;
+    CpuDevice* cpu = nullptr;
   };
 
   Session(Dataset dataset, TrainConfig config);
@@ -265,7 +338,7 @@ class Session {
   GpuDeviceSpec drawn_gpu_spec_;
   BlockedMatrix matrix_;
   std::unique_ptr<Scheduler> scheduler_;
-  std::unique_ptr<CpuDevice> cpu_device_;
+  std::vector<std::unique_ptr<CpuDevice>> cpu_devices_;
   std::unique_ptr<PcieLink> steal_link_;
   std::vector<std::unique_ptr<GpuDevice>> gpu_devices_;
   std::vector<Worker> workers_;
@@ -287,6 +360,18 @@ class Session {
   double duration_sum_ = 0.0;
   double duration_sumsq_ = 0.0;
   double wall_seconds_ = 0.0;
+
+  // ---- Fault machinery (runtime state, never checkpointed) ------------
+  /// Devices killed by the injector or the watchdog stay dead for the
+  /// session's lifetime; a restored session starts with everyone alive.
+  std::vector<char> worker_dead_;
+  int workers_alive_ = 0;
+  std::unique_ptr<FaultInjector> injector_;
+  FaultStats fault_stats_;
+  bool failed_ = false;
+  /// Jitter stream for checkpoint-retry backoff (stream 23); consumed
+  /// only on IO failures, so fault-free runs never touch it.
+  Rng retry_rng_{0, 23};
 
   std::vector<EpochObserver*> observers_;
 };

@@ -1,0 +1,222 @@
+#include "fault/fault_plan.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hsgd {
+namespace {
+
+// Small cursor over one clause; all Eat* helpers advance on success.
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  bool AtEnd() const { return p >= end; }
+  bool EatLiteral(const char* lit) {
+    const char* q = p;
+    for (const char* l = lit; *l; ++l, ++q) {
+      if (q >= end || *q != *l) return false;
+    }
+    p = q;
+    return true;
+  }
+  bool EatInt(int* out) {
+    char* after = nullptr;
+    long v = std::strtol(p, &after, 10);
+    if (after == p || after > end) return false;
+    *out = static_cast<int>(v);
+    p = after;
+    return true;
+  }
+  bool EatDouble(double* out) {
+    char* after = nullptr;
+    double v = std::strtod(p, &after);
+    if (after == p || after > end) return false;
+    *out = v;
+    p = after;
+    return true;
+  }
+};
+
+Status ClauseError(const std::string& clause, const char* what) {
+  return Status::InvalidArgument("fault plan clause \"" + clause +
+                                 "\": " + what);
+}
+
+// Parses the trailing `@eN[+F][xS][forD][nC]` tail shared by all kinds.
+Status ParseTail(Cursor* c, const std::string& clause, FaultSpec* spec) {
+  if (!c->EatLiteral("@e")) return ClauseError(clause, "expected @e<epoch>");
+  if (!c->EatInt(&spec->epoch) || spec->epoch < 1) {
+    return ClauseError(clause, "epoch must be a positive integer");
+  }
+  if (c->EatLiteral("+")) {
+    if (!c->EatDouble(&spec->at_fraction) || spec->at_fraction < 0.0 ||
+        spec->at_fraction > 1.0) {
+      return ClauseError(clause, "fraction must be in [0,1]");
+    }
+  }
+  if (c->EatLiteral("x")) {
+    if (spec->kind != FaultKind::kStraggler) {
+      return ClauseError(clause, "x<slowdown> only applies to slow:");
+    }
+    if (!c->EatDouble(&spec->slowdown) || spec->slowdown <= 1.0) {
+      return ClauseError(clause, "slowdown must be > 1");
+    }
+  }
+  if (c->EatLiteral("for")) {
+    if (spec->kind != FaultKind::kStraggler) {
+      return ClauseError(clause, "for<duration> only applies to slow:");
+    }
+    if (!c->EatDouble(&spec->duration) || spec->duration <= 0.0) {
+      return ClauseError(clause, "duration must be > 0");
+    }
+  }
+  if (c->EatLiteral("n")) {
+    if (spec->kind != FaultKind::kLinkFault &&
+        spec->kind != FaultKind::kCheckpointFault) {
+      return ClauseError(clause, "n<count> only applies to link:/ckpt");
+    }
+    if (!c->EatInt(&spec->count) || spec->count < 1) {
+      return ClauseError(clause, "count must be a positive integer");
+    }
+  }
+  if (!c->AtEnd()) return ClauseError(clause, "trailing garbage");
+  return Status::Ok();
+}
+
+Status ParseDevice(Cursor* c, const std::string& clause, FaultSpec* spec) {
+  if (c->EatLiteral("gpu")) {
+    spec->device_class = DeviceClass::kGpu;
+  } else if (c->EatLiteral("cpu")) {
+    spec->device_class = DeviceClass::kCpuThread;
+  } else {
+    return ClauseError(clause, "expected gpu<i> or cpu<i> target");
+  }
+  if (!c->EatInt(&spec->device_index) || spec->device_index < 0) {
+    return ClauseError(clause, "device index must be >= 0");
+  }
+  return Status::Ok();
+}
+
+StatusOr<FaultSpec> ParseClause(const std::string& clause) {
+  Cursor c{clause.data(), clause.data() + clause.size()};
+  FaultSpec spec;
+  if (c.EatLiteral("crash:")) {
+    HSGD_RETURN_IF_ERROR(ParseDevice(&c, clause, &spec));
+    spec.kind = spec.device_class == DeviceClass::kGpu
+                    ? FaultKind::kGpuCrash
+                    : FaultKind::kCpuCrash;
+  } else if (c.EatLiteral("slow:")) {
+    spec.kind = FaultKind::kStraggler;
+    HSGD_RETURN_IF_ERROR(ParseDevice(&c, clause, &spec));
+  } else if (c.EatLiteral("link:")) {
+    spec.kind = FaultKind::kLinkFault;
+    HSGD_RETURN_IF_ERROR(ParseDevice(&c, clause, &spec));
+    if (spec.device_class != DeviceClass::kGpu) {
+      return ClauseError(clause, "link: targets a GPU's PCIe link");
+    }
+  } else if (c.EatLiteral("ckpt")) {
+    spec.kind = FaultKind::kCheckpointFault;
+  } else {
+    return ClauseError(clause, "unknown kind (crash:/slow:/link:/ckpt)");
+  }
+  HSGD_RETURN_IF_ERROR(ParseTail(&c, clause, &spec));
+  return spec;
+}
+
+void AppendFraction(std::string* out, double frac) {
+  if (frac <= 0.0) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "+%g", frac);
+  *out += buf;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kGpuCrash: return "gpu-crash";
+    case FaultKind::kCpuCrash: return "cpu-crash";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kLinkFault: return "link-fault";
+    case FaultKind::kCheckpointFault: return "checkpoint-fault";
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::ToString() const {
+  std::string out;
+  char buf[64];
+  const char* dev =
+      device_class == DeviceClass::kGpu ? "gpu" : "cpu";
+  switch (kind) {
+    case FaultKind::kGpuCrash:
+    case FaultKind::kCpuCrash:
+      std::snprintf(buf, sizeof(buf), "crash:%s%d@e%d", dev, device_index,
+                    epoch);
+      out = buf;
+      AppendFraction(&out, at_fraction);
+      break;
+    case FaultKind::kStraggler:
+      std::snprintf(buf, sizeof(buf), "slow:%s%d@e%d", dev, device_index,
+                    epoch);
+      out = buf;
+      AppendFraction(&out, at_fraction);
+      std::snprintf(buf, sizeof(buf), "x%g", slowdown);
+      out += buf;
+      if (duration > 0.0) {
+        std::snprintf(buf, sizeof(buf), "for%g", duration);
+        out += buf;
+      }
+      break;
+    case FaultKind::kLinkFault:
+      std::snprintf(buf, sizeof(buf), "link:gpu%d@e%d", device_index,
+                    epoch);
+      out = buf;
+      AppendFraction(&out, at_fraction);
+      std::snprintf(buf, sizeof(buf), "n%d", count);
+      out += buf;
+      break;
+    case FaultKind::kCheckpointFault:
+      std::snprintf(buf, sizeof(buf), "ckpt@e%d", epoch);
+      out = buf;
+      AppendFraction(&out, at_fraction);
+      std::snprintf(buf, sizeof(buf), "n%d", count);
+      out += buf;
+      break;
+  }
+  return out;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultSpec& spec : specs) {
+    if (!out.empty()) out += ";";
+    out += spec.ToString();
+  }
+  return out;
+}
+
+StatusOr<FaultPlan> FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t sep = text.find(';', start);
+    if (sep == std::string::npos) sep = text.size();
+    size_t a = start, b = sep;
+    while (a < b && std::isspace(static_cast<unsigned char>(text[a]))) ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(text[b - 1]))) {
+      --b;
+    }
+    if (b > a) {
+      StatusOr<FaultSpec> spec = ParseClause(text.substr(a, b - a));
+      if (!spec.ok()) return spec.status();
+      plan.specs.push_back(spec.value());
+    }
+    start = sep + 1;
+  }
+  return plan;
+}
+
+}  // namespace hsgd

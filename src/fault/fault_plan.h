@@ -1,0 +1,72 @@
+// Scripted, deterministic fault plans for the simulated fleet.
+//
+// A FaultPlan is a list of fault events, each pinned to an (epoch,
+// fraction-of-blocks-released) point in the run so that a given plan +
+// seed reproduces the exact same failure trace on any machine or thread
+// count. The text syntax (one event per `;`-separated clause):
+//
+//   crash:gpu0@e3+0.5        kill GPU 0 when epoch 3 is 50% released
+//   crash:cpu2@e2            kill CPU thread 2 at the start of epoch 2
+//   slow:gpu1@e2+0.25x8for0.5  8x slowdown for 0.5 sim-seconds
+//   slow:cpu0@e1x16          16x slowdown for the rest of the run
+//   link:gpu0@e2+0.1n4       next 4 PCIe transfers on GPU 0's link fail
+//   ckpt@e2n3                3 checkpoint writes fail, starting epoch 2
+//
+// `@eN` is the 1-based epoch, `+F` the release fraction within it
+// (default 0 = epoch start). `x` is the slowdown factor, `for` the
+// degraded window in simulated seconds (omitted = permanent), `n` a
+// count of transfers/writes to fail.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "sched/scheduler.h"
+#include "util/status.h"
+
+namespace hsgd {
+
+enum class FaultKind {
+  kGpuCrash = 0,
+  kCpuCrash = 1,
+  kStraggler = 2,     // transient (or permanent) slowdown
+  kLinkFault = 3,     // next `count` PCIe transfers fail-and-retry
+  kCheckpointFault = 4,  // next `count` checkpoint writes fail
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kGpuCrash;
+  /// Target device (unused for kCheckpointFault).
+  DeviceClass device_class = DeviceClass::kGpu;
+  int device_index = 0;
+  /// 1-based epoch the fault arms in.
+  int epoch = 1;
+  /// Fires once this fraction of the epoch's blocks have been released
+  /// (0.0 = epoch start).
+  double at_fraction = 0.0;
+  /// kStraggler: multiplicative slowdown (> 1).
+  double slowdown = 8.0;
+  /// kStraggler: degraded window in sim-seconds; <= 0 means permanent.
+  double duration = 0.0;
+  /// kLinkFault / kCheckpointFault: how many operations fail.
+  int count = 1;
+
+  std::string ToString() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+  std::string ToString() const;
+
+  /// Parse the `;`-separated clause syntax above. Whitespace around
+  /// clauses is ignored; an empty string yields an empty plan.
+  static StatusOr<FaultPlan> Parse(const std::string& text);
+};
+
+}  // namespace hsgd

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "util/chunking.h"
+#include "util/logging.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -69,13 +70,24 @@ struct ParsedRec {
   int64_t line = 0;
 };
 
+/// A malformed line found during the shard scan, before it is known
+/// whether the error budget absorbs it.
+struct BadLine {
+  int64_t line = 0;
+  std::string detail;
+};
+
 struct ShardResult {
   std::vector<ParsedRec> recs;
   /// Netflix: the last "id:" header in the shard, or kPendingItem when
   /// the shard contains none (its records all inherit the carry-over).
   int64_t last_item = kPendingItem;
-  Status error = Status::Ok();
-  int64_t error_line = std::numeric_limits<int64_t>::max();
+  /// Malformed lines in shard (= file) order. Capped at max_bad_lines + 1
+  /// entries: keeping each shard's earliest budget+1 bad lines is enough
+  /// to reconstruct both the exact global tally when the load survives
+  /// (no shard can truncate without busting the budget) and the exact
+  /// first-over-budget line when it does not.
+  std::vector<BadLine> bad;
 };
 
 Status LineError(const std::string& path, int64_t line,
@@ -83,16 +95,6 @@ Status LineError(const std::string& path, int64_t line,
   return Status::InvalidArgument(
       StrFormat("%s:%lld: %s", path.c_str(),
                 static_cast<long long>(line), detail.c_str()));
-}
-
-void SetShardError(ShardResult* shard, const std::string& path,
-                   int64_t line, const std::string& detail) {
-  // Keep the earliest error so the parallel parse reports the same line
-  // a serial scan would.
-  if (line < shard->error_line) {
-    shard->error_line = line;
-    shard->error = LineError(path, line, detail);
-  }
 }
 
 bool ParseI64(const char* begin, const char* end, int64_t* out) {
@@ -172,7 +174,18 @@ struct ParseContext {
   DataFormat format;
   double min_rating;
   double max_rating;
+  int64_t max_bad = 0;
 };
+
+/// Record a malformed line, honoring the per-shard cap (see
+/// ShardResult::bad). `size <= max_bad` admits max_bad + 1 entries
+/// without ever computing max_bad + 1 (which could overflow).
+void RecordBadLine(const ParseContext& ctx, ShardResult* shard,
+                   int64_t line, std::string detail) {
+  if (static_cast<int64_t>(shard->bad.size()) <= ctx.max_bad) {
+    shard->bad.push_back({line, std::move(detail)});
+  }
+}
 
 /// Trim a trailing '\r' (CRLF dumps) and surrounding spaces.
 void TrimLine(const char** begin, const char** end) {
@@ -204,7 +217,7 @@ void ParseRecordLine(const ParseContext& ctx, const char* begin,
     // "user,rating[,date]" under the current section header; the item is
     // filled by the caller (shard-local) or the merge (carry-over).
     if (count != 2 && count != 3) {
-      SetShardError(shard, ctx.path, line,
+      RecordBadLine(ctx, shard, line,
                     "expected 'user,rating[,date]', got '" +
                         std::string(begin, end) + "'");
       return;
@@ -213,41 +226,41 @@ void ParseRecordLine(const ParseContext& ctx, const char* begin,
   } else {
     // "user<d>item<d>rating[<d>timestamp]".
     if (count != 3 && count != 4) {
-      SetShardError(shard, ctx.path, line,
+      RecordBadLine(ctx, shard, line,
                     "expected 'user<delim>item<delim>rating', got '" +
                         std::string(begin, end) + "'");
       return;
     }
     if (!ParseI64(fields[1].begin, fields[1].end, &rec.item)) {
-      SetShardError(shard, ctx.path, line,
+      RecordBadLine(ctx, shard, line,
                     "item id '" + fields[1].str() + "' is not an integer");
       return;
     }
     if (rec.item < 0) {
-      SetShardError(shard, ctx.path, line,
+      RecordBadLine(ctx, shard, line,
                     "item id '" + fields[1].str() + "' is negative");
       return;
     }
   }
   if (!ParseI64(fields[0].begin, fields[0].end, &rec.user)) {
-    SetShardError(shard, ctx.path, line,
+    RecordBadLine(ctx, shard, line,
                   "user id '" + fields[0].str() + "' is not an integer");
     return;
   }
   if (rec.user < 0) {
-    SetShardError(shard, ctx.path, line,
+    RecordBadLine(ctx, shard, line,
                   "user id '" + fields[0].str() + "' is negative");
     return;
   }
   const Field& rating_field =
       fields[ctx.format == DataFormat::kNetflix ? 1 : 2];
   if (!ParseF32(rating_field.begin, rating_field.end, &rec.rating)) {
-    SetShardError(shard, ctx.path, line,
+    RecordBadLine(ctx, shard, line,
                   "rating '" + rating_field.str() + "' is not a number");
     return;
   }
   if (rec.rating < ctx.min_rating || rec.rating > ctx.max_rating) {
-    SetShardError(shard, ctx.path, line,
+    RecordBadLine(ctx, shard, line,
                   StrFormat("rating %g outside [%g, %g]",
                             static_cast<double>(rec.rating),
                             ctx.min_rating, ctx.max_rating));
@@ -338,9 +351,14 @@ bool FirstLineIsHeader(const std::string& text) {
 
 /// Parse one file into raw (user, item, rating, line) records, chunked
 /// across `threads` workers with a deterministic in-order merge.
+/// Malformed lines are charged against the remaining error budget
+/// (options.max_bad_lines - report->total) and appended to `report`;
+/// the first line past the budget fails the parse with its LineError,
+/// which with the default budget of 0 is exactly the historical
+/// first-bad-line Status.
 Status ParseFile(const std::string& path, DataFormat format,
                  const LoadOptions& options,
-                 std::vector<ParsedRec>* out) {
+                 std::vector<ParsedRec>* out, BadLineReport* report) {
   auto text_or = ReadFileToString(path);
   if (!text_or.ok()) return text_or.status();
   const std::string text = *std::move(text_or);
@@ -349,6 +367,7 @@ Status ParseFile(const std::string& path, DataFormat format,
   ctx.text = &text;
   ctx.path = path;
   ctx.format = format;
+  ctx.max_bad = std::max<int64_t>(0, options.max_bad_lines);
   ctx.min_rating = options.min_rating;
   ctx.max_rating = options.max_rating;
   // NaN counts as "unset" too — a NaN bound would otherwise make every
@@ -392,30 +411,49 @@ Status ParseFile(const std::string& path, DataFormat format,
                      });
   }
 
-  // Deterministic merge: earliest parse error wins; otherwise concatenate
-  // shards in file order, resolving netflix carry-over section headers.
-  const ShardResult* first_error = nullptr;
-  for (const ShardResult& shard : shards) {
-    if (!shard.error.ok() &&
-        (first_error == nullptr ||
-         shard.error_line < first_error->error_line)) {
-      first_error = &shard;
-    }
-  }
-  if (first_error != nullptr) return first_error->error;
-
+  // Deterministic merge: concatenate shards in file order, resolving
+  // netflix carry-over section headers. Records seen before any header
+  // existed anywhere (carry-over missing) are malformed; they join the
+  // shards' parse failures in one line-sorted list judged against the
+  // remaining error budget.
+  std::vector<BadLine> file_bad;
   int64_t carry_item = kPendingItem;
   for (ShardResult& shard : shards) {
+    for (BadLine& bad : shard.bad) file_bad.push_back(std::move(bad));
+    size_t skip = 0;
     for (ParsedRec& rec : shard.recs) {
       if (rec.item != kPendingItem) break;
       if (carry_item == kPendingItem) {
-        return LineError(path, rec.line,
-                         "rating before any 'movie_id:' section header");
+        file_bad.push_back(
+            {rec.line, "rating before any 'movie_id:' section header"});
+        ++skip;
+      } else {
+        rec.item = carry_item;
       }
-      rec.item = carry_item;
     }
     if (shard.last_item != kPendingItem) carry_item = shard.last_item;
-    out->insert(out->end(), shard.recs.begin(), shard.recs.end());
+    out->insert(out->end(),
+                shard.recs.begin() + static_cast<ptrdiff_t>(skip),
+                shard.recs.end());
+  }
+  // Headerless-prefix records sit at earlier lines than some parse
+  // failures appended before them; sort so the budget is charged in
+  // strict line order, the same order a serial scan would see.
+  std::stable_sort(file_bad.begin(), file_bad.end(),
+                   [](const BadLine& a, const BadLine& b) {
+                     return a.line < b.line;
+                   });
+
+  const int64_t budget_left = ctx.max_bad - report->total;
+  if (static_cast<int64_t>(file_bad.size()) > budget_left) {
+    const BadLine& fatal = file_bad[static_cast<size_t>(budget_left)];
+    return LineError(path, fatal.line, fatal.detail);
+  }
+  for (BadLine& bad : file_bad) {
+    ++report->total;
+    if (static_cast<int>(report->sample.size()) < BadLineReport::kMaxSample) {
+      report->sample.push_back({path, bad.line, std::move(bad.detail)});
+    }
   }
   return Status::Ok();
 }
@@ -431,6 +469,7 @@ StatusOr<LoadedData> LoadRatings(const std::string& path, DataFormat format,
         StrFormat("data path '%s' does not exist", path.c_str()));
   }
 
+  LoadedData data;
   std::vector<ParsedRec> recs;
   // First record index contributed by each source file, so post-merge
   // errors (duplicates) can name the offending file rather than the
@@ -456,11 +495,13 @@ StatusOr<LoadedData> LoadRatings(const std::string& path, DataFormat format,
     }
     for (const std::string& file : files) {
       origins.emplace_back(recs.size(), file);
-      HSGD_RETURN_IF_ERROR(ParseFile(file, format, options, &recs));
+      HSGD_RETURN_IF_ERROR(
+          ParseFile(file, format, options, &recs, &data.bad_lines));
     }
   } else {
     origins.emplace_back(0, path);
-    HSGD_RETURN_IF_ERROR(ParseFile(path, format, options, &recs));
+    HSGD_RETURN_IF_ERROR(
+        ParseFile(path, format, options, &recs, &data.bad_lines));
   }
 
   if (recs.empty()) {
@@ -470,8 +511,8 @@ StatusOr<LoadedData> LoadRatings(const std::string& path, DataFormat format,
 
   // Sequential remap + duplicate scan over the merged stream: dense ids
   // are assigned in first-appearance order, so the result is identical
-  // for any thread count.
-  LoadedData data;
+  // for any thread count. Duplicates charge the same error budget the
+  // parse phase drew from (the later record is the one quarantined).
   data.ratings.reserve(recs.size());
   std::unordered_set<uint64_t> seen;
   seen.reserve(recs.size() * 2);
@@ -499,11 +540,20 @@ StatusOr<LoadedData> LoadRatings(const std::string& path, DataFormat format,
                           << 32) |
                          static_cast<uint32_t>(r.v);
     if (!seen.insert(key).second) {
-      return LineError(origin, rec.line,
-                       StrFormat("duplicate rating for (user %lld, item "
-                                 "%lld)",
-                                 static_cast<long long>(rec.user),
-                                 static_cast<long long>(rec.item)));
+      std::string detail =
+          StrFormat("duplicate rating for (user %lld, item %lld)",
+                    static_cast<long long>(rec.user),
+                    static_cast<long long>(rec.item));
+      if (data.bad_lines.total >= options.max_bad_lines) {
+        return LineError(origin, rec.line, detail);
+      }
+      ++data.bad_lines.total;
+      if (static_cast<int>(data.bad_lines.sample.size()) <
+          BadLineReport::kMaxSample) {
+        data.bad_lines.sample.push_back(
+            {origin, rec.line, std::move(detail)});
+      }
+      continue;
     }
     data.ratings.push_back(r);
   }
@@ -522,6 +572,14 @@ StatusOr<Dataset> LoadDataset(const std::string& path, DataFormat format,
   }
   auto data = LoadRatings(path, format, load_options);
   if (!data.ok()) return data.status();
+  if (data->bad_lines.total > 0) {
+    const BadLineRecord& first = data->bad_lines.sample.front();
+    HSGD_LOG(Warning) << "'" << path << "': quarantined "
+                      << data->bad_lines.total
+                      << " malformed line(s) under --max-bad-lines="
+                      << load_options.max_bad_lines << " (first: " << first.file
+                      << ":" << first.line << ": " << first.detail << ")";
+  }
 
   // Deterministic modulo split: every stride-th rating in file order is
   // held out, so the split is reproducible for any parse thread count.

@@ -19,7 +19,10 @@
 // parse regardless of thread count), raw ids are remapped to contiguous
 // dense indices with both directions of the mapping retained (so
 // Recommender results can be translated back to external ids), and every
-// malformed line fails the load with a Status naming "<path>:<line>".
+// malformed line fails the load with a Status naming "<path>:<line>" —
+// unless LoadOptions::max_bad_lines grants an error budget, in which case
+// up to that many bad lines are quarantined into a counted report
+// instead.
 
 #pragma once
 
@@ -72,17 +75,45 @@ struct LoadOptions {
   /// offending line.
   double min_rating = kFormatDefault;
   double max_rating = kFormatDefault;
+  /// Error budget: up to this many malformed lines (parse failures,
+  /// out-of-range ratings, duplicates, netflix ratings before any
+  /// section header) are quarantined into LoadedData::bad_lines instead
+  /// of failing the load. The default 0 keeps the historical strict
+  /// behavior: the first bad line fails with its "<path>:<line>"
+  /// Status. When the budget is exceeded, the load fails naming the
+  /// first line past it. Counting is deterministic (file order) for any
+  /// thread count.
+  int64_t max_bad_lines = 0;
 
   static constexpr double kFormatDefault =
       -1.7976931348623157e308;  // sentinel: use the format's range
 };
 
+/// One quarantined input line.
+struct BadLineRecord {
+  std::string file;
+  int64_t line = 0;
+  std::string detail;
+};
+
+/// Where the error budget went: exact total plus the first few offending
+/// lines (enough to debug a dirty dump without hauling megabytes of
+/// error text around).
+struct BadLineReport {
+  static constexpr int kMaxSample = 20;
+  int64_t total = 0;
+  std::vector<BadLineRecord> sample;  // first kMaxSample, file order
+};
+
 /// A parsed dump: triplets with dense contiguous ids in file order, plus
-/// the id mappings that produced them.
+/// the id mappings that produced them and the quarantined-line report
+/// (empty under the default strict options — any bad line fails the
+/// load instead).
 struct LoadedData {
   Ratings ratings;
   IdMap users;
   IdMap items;
+  BadLineReport bad_lines;
 };
 
 /// Parse `path` (a file; for netflix, a file or a directory of per-movie

@@ -24,6 +24,8 @@ void Scheduler::BeginEpoch() {
       done_[static_cast<size_t>(b)] = 1;  // nothing to do in empty blocks
     }
   }
+  outstanding_.clear();
+  requeued_.assign(static_cast<size_t>(matrix_->num_blocks()), 0);
 }
 
 bool Scheduler::BlockRunnable(int row, int col) const {
@@ -48,6 +50,8 @@ BlockTask Scheduler::TakeBlock(const WorkerInfo& worker, int row, int col,
   done_[static_cast<size_t>(task.block)] = 1;
   --remaining_;
   ++in_flight_;
+  task.lease = next_lease_++;
+  outstanding_.insert(task.lease);
   if (stolen) {
     if (worker.device_class == DeviceClass::kGpu) {
       stolen_by_gpus_ += task.nnz;
@@ -72,6 +76,34 @@ void Scheduler::Release(const WorkerInfo& worker, const BlockTask& task,
     col_owner_[static_cast<size_t>(task.col)] = -1;
   }
   --in_flight_;
+  if (task.lease >= 0) outstanding_.erase(task.lease);
+}
+
+bool Scheduler::RevokeLease(const BlockTask& task) {
+  if (!LeaseOutstanding(task.lease)) return false;
+  outstanding_.erase(task.lease);
+  HSGD_CHECK(task.row >= 0 && task.col >= 0);
+  HSGD_CHECK(row_busy_[static_cast<size_t>(task.row)] > 0 &&
+             col_busy_[static_cast<size_t>(task.col)] > 0)
+      << "Revoke of a task whose strata are not locked";
+  --row_busy_[static_cast<size_t>(task.row)];
+  --col_busy_[static_cast<size_t>(task.col)];
+  if (col_busy_[static_cast<size_t>(task.col)] == 0) {
+    col_owner_[static_cast<size_t>(task.col)] = -1;
+  }
+  --in_flight_;
+  const size_t b = static_cast<size_t>(task.block);
+  if (!requeued_[b]) {
+    requeued_[b] = 1;
+    done_[b] = 0;  // pending again; any worker may re-acquire it
+    ++remaining_;
+    ++requeued_blocks_;
+    return true;
+  }
+  // Second failure on the same block: give up on it for this epoch so a
+  // cursed block can't ping-pong between dying devices forever.
+  ++lost_blocks_;
+  return false;
 }
 
 }  // namespace hsgd

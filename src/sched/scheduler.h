@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_set>
 
 #include "sched/blocked_matrix.h"
 #include "util/rng.h"
@@ -37,6 +38,11 @@ struct BlockTask {
   /// True when the block came from another device class's region
   /// (HSGD*'s dynamic phase).
   bool stolen = false;
+  /// Monotonically increasing lease id stamped by TakeBlock. A lease
+  /// stays outstanding until Release or RevokeLease consumes it; a
+  /// revoked lease's later Release must be dropped by the caller
+  /// (checked via LeaseOutstanding) so its updates are never applied.
+  int64_t lease = -1;
 };
 
 class Scheduler {
@@ -57,12 +63,37 @@ class Scheduler {
   virtual void Release(const WorkerInfo& worker, const BlockTask& task,
                        SimTime now);
 
+  /// True while `lease` was issued and neither Released nor revoked.
+  /// The session checks this before applying a block's SGD updates at
+  /// release time, which is what makes revocation double-apply-safe.
+  bool LeaseOutstanding(int64_t lease) const {
+    return lease >= 0 && outstanding_.count(lease) != 0;
+  }
+
+  /// Take back a lease whose holder died or blew its deadline: unlock
+  /// the strata and return the block to the pending pool. A block is
+  /// requeued at most once — a second revocation drops it for the rest
+  /// of the epoch (tallied in lost_blocks) so a wedged block can't spin
+  /// forever. Returns true when the block was requeued. No-op (false)
+  /// if the lease is no longer outstanding.
+  bool RevokeLease(const BlockTask& task);
+
+  /// Tell the scheduler a worker is gone for good; it must stop routing
+  /// that worker's home region to it. Base implementation is a no-op —
+  /// pool schedulers have no per-worker regions.
+  virtual void MarkWorkerDead(const WorkerInfo& worker) { (void)worker; }
+
   /// True once every non-empty block was processed and released.
   bool EpochDone() const { return remaining_ == 0 && in_flight_ == 0; }
 
   int num_blocks() const { return matrix_->num_blocks(); }
+  /// Non-empty blocks not yet taken this epoch (the denominator for
+  /// fraction-of-epoch fault triggers when read right after BeginEpoch).
+  int remaining_blocks() const { return remaining_; }
   int64_t stolen_by_gpus() const { return stolen_by_gpus_; }
   int64_t stolen_by_cpus() const { return stolen_by_cpus_; }
+  int64_t requeued_blocks() const { return requeued_blocks_; }
+  int64_t lost_blocks() const { return lost_blocks_; }
 
   /// Checkpoint hooks: the policy RNG and steal tallies are the only
   /// scheduler state that survives an epoch boundary (strata locks and
@@ -99,6 +130,15 @@ class Scheduler {
   int in_flight_ = 0;
   int64_t stolen_by_gpus_ = 0;
   int64_t stolen_by_cpus_ = 0;
+  /// Lease bookkeeping. `outstanding_` is only ever membership-tested
+  /// (never iterated), so unordered iteration can't leak into the
+  /// deterministic event order. `requeued_` marks blocks already given
+  /// their one second chance this epoch.
+  std::unordered_set<int64_t> outstanding_;
+  int64_t next_lease_ = 0;
+  std::vector<char> requeued_;
+  int64_t requeued_blocks_ = 0;
+  int64_t lost_blocks_ = 0;
 };
 
 }  // namespace hsgd

@@ -12,6 +12,18 @@ StarScheduler::StarScheduler(const BlockedMatrix* matrix, const Grid* grid,
       << "stripe counts (" << options_.num_gpu_stripes << " gpu + "
       << options_.num_cpu_stripes << " cpu) must match grid columns "
       << grid->num_col_strata();
+  stripe_orphaned_.assign(static_cast<size_t>(grid->num_col_strata()), 0);
+}
+
+void StarScheduler::MarkWorkerDead(const WorkerInfo& worker) {
+  if (worker.device_class != DeviceClass::kGpu) return;
+  const int spg = options_.stripes_per_gpu;
+  const int first =
+      (worker.device_index * spg) % options_.num_gpu_stripes;
+  for (int i = 0; i < spg && first + i < options_.num_gpu_stripes; ++i) {
+    stripe_orphaned_[static_cast<size_t>(first + i)] = 1;
+    have_orphans_ = true;
+  }
 }
 
 int StarScheduler::StripeOf(const WorkerInfo& worker) const {
@@ -111,6 +123,28 @@ std::optional<BlockTask> StarScheduler::Acquire(const WorkerInfo& worker,
     int row = -1;
     const int stripe = PickStripe(gpu_end, q, home, &row);
     if (stripe >= 0) return TakeBlock(worker, row, stripe, false);
+  }
+  // 1.5) Orphan rescue: a dead GPU's stripes are nobody's home region
+  // any more, so any worker may sweep them — ahead of (and exempt from)
+  // the dynamic-phase gates below, since even HSGD*-M must not strand
+  // their blocks. Free, most-backlogged orphan first, same heuristic as
+  // PickStripe.
+  if (have_orphans_) {
+    int best_stripe = -1, best_pending = 0, best_row = -1;
+    for (int stripe = 0; stripe < gpu_end; ++stripe) {
+      if (!stripe_orphaned_[static_cast<size_t>(stripe)]) continue;
+      if (col_busy_[static_cast<size_t>(stripe)]) continue;
+      const int pending = StripePending(stripe);
+      if (pending <= best_pending) continue;
+      const int found = FindRunnableRow(stripe);
+      if (found < 0) continue;
+      best_stripe = stripe;
+      best_pending = pending;
+      best_row = found;
+    }
+    if (best_stripe >= 0) {
+      return TakeBlock(worker, best_row, best_stripe, /*stolen=*/true);
+    }
   }
   if (!options_.dynamic) return std::nullopt;
   if (!is_gpu && !options_.allow_cpu_steals) return std::nullopt;

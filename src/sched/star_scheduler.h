@@ -55,6 +55,12 @@ class StarScheduler : public Scheduler {
   std::optional<BlockTask> Acquire(const WorkerInfo& worker,
                                    SimTime now) override;
 
+  /// A dead GPU's resident stripes become orphans: nobody's home region,
+  /// rescueable by any surviving worker (even under HSGD*-M, where the
+  /// ordinary steal gates stay closed). Dead CPU threads need no
+  /// handling — the pool stripes were always shared.
+  void MarkWorkerDead(const WorkerInfo& worker) override;
+
   /// The worker's home stripe: a GPU's resident stripe, or the CPU
   /// thread's preferred pool stripe (CPU threads roam the pool when their
   /// home stripe is locked or drained).
@@ -70,6 +76,10 @@ class StarScheduler : public Scheduler {
   int PickStripe(int begin, int end, int skip, int* row) const;
 
   StarSchedulerOptions options_;
+  /// Stripes whose owner GPU died; sticky across epochs (device death is
+  /// permanent within a run).
+  std::vector<char> stripe_orphaned_;
+  bool have_orphans_ = false;
 };
 
 }  // namespace hsgd

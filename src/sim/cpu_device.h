@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "core/types.h"
+#include "sim/device_health.h"
 #include "sim/device_spec.h"
 
 namespace hsgd {
@@ -19,11 +20,23 @@ class CpuDevice {
   double UpdateRate(int64_t nnz) const;
 
   /// Seconds one thread needs to sweep a block of `nnz` points.
+  /// Health-blind — cost probes and lease-deadline estimates use this.
   SimTime UpdateTime(int64_t nnz) const;
+
+  /// UpdateTime scaled by health().SlowdownAt(now) — what the event loop
+  /// charges a possibly-degraded thread. Identical to UpdateTime while
+  /// healthy.
+  SimTime UpdateTimeAt(SimTime now, int64_t nnz) const {
+    return UpdateTime(nnz) * health_.SlowdownAt(now);
+  }
+
+  const DeviceHealth& health() const { return health_; }
+  void set_health(const DeviceHealth& health) { health_ = health; }
 
  private:
   CpuDeviceSpec spec_;
   double steady_rate_;  // k- and variability-adjusted flat rate
+  DeviceHealth health_;
 };
 
 }  // namespace hsgd

@@ -46,16 +46,27 @@ PipelineTiming GpuDevice::Process(SimTime ready, const GpuWorkItem& item) {
 
   PipelineTiming t;
   t.h2d_start = std::max(ready, h2d_free_);
-  t.h2d_done =
-      t.h2d_start + link_.TransferTime(bytes_in,
-                                       TransferDirection::kHostToDevice);
+  // A faulted transfer pays the failed attempt + detection timeout before
+  // the retry succeeds; exactly 0.0 extra on a clean link.
+  const SimTime h2d_penalty = link_.ConsumeFaultPenalty(
+      bytes_in, TransferDirection::kHostToDevice);
+  t.h2d_done = t.h2d_start + h2d_penalty +
+               link_.TransferTime(bytes_in,
+                                  TransferDirection::kHostToDevice);
   t.kernel_start = std::max(t.h2d_done, kernel_free_);
-  t.kernel_done =
-      t.kernel_start + kernel_.ExecTime(item.nnz, item.rows, item.cols);
+  const SimTime exec_healthy =
+      kernel_.ExecTime(item.nnz, item.rows, item.cols);
+  // SlowdownAt is exactly 1.0 outside a degraded window, so healthy runs
+  // stay bit-identical to the health-blind computation.
+  const SimTime exec =
+      exec_healthy * health_.SlowdownAt(t.kernel_start);
+  t.kernel_done = t.kernel_start + exec;
   t.d2h_start = std::max(t.kernel_done, d2h_free_);
   t.d2h_done =
       t.d2h_start + link_.TransferTime(bytes_out,
                                        TransferDirection::kDeviceToHost);
+  t.healthy_span =
+      (t.d2h_done - t.h2d_start) - (exec - exec_healthy) - h2d_penalty;
   if (pipelined_) {
     // Streams free up independently: the next block's H2D can run under
     // this block's kernel.
@@ -71,7 +82,9 @@ PipelineTiming GpuDevice::Process(SimTime ready, const GpuWorkItem& item) {
 SimTime GpuDevice::Upload(SimTime ready, int64_t bytes) {
   SimTime start = std::max(ready, h2d_free_);
   SimTime done =
-      start + link_.TransferTime(bytes, TransferDirection::kHostToDevice);
+      start +
+      link_.ConsumeFaultPenalty(bytes, TransferDirection::kHostToDevice) +
+      link_.TransferTime(bytes, TransferDirection::kHostToDevice);
   h2d_free_ = done;
   if (!pipelined_) kernel_free_ = d2h_free_ = done;
   return done;

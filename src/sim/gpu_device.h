@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "core/types.h"
+#include "sim/device_health.h"
 #include "sim/device_spec.h"
 #include "sim/pcie_link.h"
 
@@ -60,6 +61,11 @@ struct PipelineTiming {
   SimTime kernel_done = 0.0;
   SimTime d2h_start = 0.0;
   SimTime d2h_done = 0.0;
+  /// The span ready..d2h_done this block would have taken on a healthy
+  /// device and a clean link — what the lease watchdog compares the real
+  /// finish against. Equals (d2h_done - h2d_start) when no fault was in
+  /// effect.
+  SimTime healthy_span = 0.0;
 };
 
 class GpuDevice {
@@ -77,7 +83,16 @@ class GpuDevice {
 
   const SimtKernelModel& kernel_model() const { return kernel_; }
   const PcieLink& link() const { return link_; }
+  /// Mutable link access for fault injection (transfer faults charge the
+  /// retry inside Process/Upload).
+  PcieLink& mutable_link() { return link_; }
   int k() const { return k_; }
+
+  /// Fault-layer health: Process scales kernel time by
+  /// health().SlowdownAt(kernel start); a dead device must never be
+  /// given work (the session revokes its leases instead).
+  const DeviceHealth& health() const { return health_; }
+  void set_health(const DeviceHealth& health) { health_ = health; }
 
   GpuStreamState stream_state() const {
     return {h2d_free_, kernel_free_, d2h_free_};
@@ -98,6 +113,7 @@ class GpuDevice {
   bool pipelined_;
   SimtKernelModel kernel_;
   PcieLink link_;
+  DeviceHealth health_;
   SimTime h2d_free_ = 0.0;
   SimTime kernel_free_ = 0.0;
   SimTime d2h_free_ = 0.0;

@@ -20,4 +20,18 @@ double PcieLink::EffectiveBandwidthGbps(int64_t bytes,
   return static_cast<double>(bytes) / TransferTime(bytes, dir) / 1e9;
 }
 
+void PcieLink::InjectTransferFaults(int count, SimTime detect_latency) {
+  if (count <= 0) return;
+  pending_faults_ += count;
+  fault_detect_latency_ = detect_latency;
+}
+
+SimTime PcieLink::ConsumeFaultPenalty(int64_t bytes, TransferDirection dir) {
+  if (pending_faults_ <= 0) return 0.0;
+  --pending_faults_;
+  // The failed attempt runs (some of) the wire before the timeout flags
+  // it; charge a full retry worth of wire time plus the detection lag.
+  return TransferTime(bytes, dir) + fault_detect_latency_;
+}
+
 }  // namespace hsgd

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "core/types.h"
+#include "sim/device_health.h"
 #include "sim/device_spec.h"
 
 namespace hsgd {
@@ -17,16 +18,41 @@ class PcieLink {
  public:
   explicit PcieLink(const GpuDeviceSpec& spec);
 
-  /// Seconds to move `bytes` in `dir`; zero bytes cost nothing.
+  /// Seconds to move `bytes` in `dir`; zero bytes cost nothing. Health-
+  /// blind — cost-model probes and deadline estimates call this freely
+  /// without consuming injected faults.
   SimTime TransferTime(int64_t bytes, TransferDirection dir) const;
 
   /// bytes / TransferTime, in GB/s — what Fig. 6 plots.
   double EffectiveBandwidthGbps(int64_t bytes, TransferDirection dir) const;
 
+  /// Fault injection: the next `count` transfers each fail once and are
+  /// retried — the caller of ConsumeFaultPenalty pays the failed
+  /// attempt's wire time plus `detect_latency` (the timeout that flagged
+  /// it) on top of the ordinary TransferTime. The link reports
+  /// kDegraded while faults are pending.
+  void InjectTransferFaults(int count, SimTime detect_latency);
+
+  /// Extra seconds the next transfer of `bytes` costs; consumes one
+  /// pending fault, or returns exactly 0.0 when the link is clean.
+  SimTime ConsumeFaultPenalty(int64_t bytes, TransferDirection dir);
+
+  int pending_faults() const { return pending_faults_; }
+  DeviceHealth health() const {
+    DeviceHealth h;
+    if (pending_faults_ > 0) {
+      h.state = HealthState::kDegraded;
+      h.degraded_until = kSimTimeNever;
+    }
+    return h;
+  }
+
  private:
   double h2d_bytes_per_sec_;
   double d2h_bytes_per_sec_;
   double latency_;
+  int pending_faults_ = 0;
+  SimTime fault_detect_latency_ = 0.0;
 };
 
 }  // namespace hsgd

@@ -1,0 +1,61 @@
+// Bounded retry with exponential backoff and jitter, for real-world IO
+// (checkpoint writes) — not simulated time.
+
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hsgd {
+
+struct RetryOptions {
+  /// Total tries, including the first. 1 disables retrying.
+  int max_attempts = 4;
+  /// Wall-clock seconds slept before the second attempt.
+  double initial_backoff = 0.005;
+  double multiplier = 2.0;
+  /// Each sleep is scaled by a uniform factor in [1-jitter, 1+jitter]
+  /// drawn from `rng` (nothing is drawn when every attempt succeeds, so
+  /// a fault-free run's RNG stream is untouched).
+  double jitter = 0.2;
+  double max_backoff = 0.25;
+};
+
+/// Runs `fn` (returning Status) until it succeeds or the attempt budget
+/// is exhausted; returns the final Status. `on_retry(attempt, status)`
+/// is invoked before each sleep — pass a no-op lambda if uninterested.
+template <typename Fn, typename OnRetry>
+Status RetryWithBackoff(const RetryOptions& options, Rng* rng, Fn&& fn,
+                        OnRetry&& on_retry) {
+  const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  double backoff = options.initial_backoff;
+  Status status;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    status = fn();
+    if (status.ok()) return status;
+    if (attempt == attempts) break;
+    on_retry(attempt, status);
+    double sleep_s = backoff;
+    if (rng != nullptr && options.jitter > 0.0) {
+      sleep_s *= 1.0 + options.jitter * (2.0 * rng->NextDouble() - 1.0);
+    }
+    if (sleep_s > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(sleep_s));
+    }
+    backoff *= options.multiplier;
+    if (backoff > options.max_backoff) backoff = options.max_backoff;
+  }
+  return status;
+}
+
+template <typename Fn>
+Status RetryWithBackoff(const RetryOptions& options, Rng* rng, Fn&& fn) {
+  return RetryWithBackoff(options, rng, static_cast<Fn&&>(fn),
+                          [](int, const Status&) {});
+}
+
+}  // namespace hsgd

@@ -1,0 +1,187 @@
+// Checkpoint durability tests: WriteCheckpoint's atomic temp + rename
+// contract under injected short writes (SetCheckpointWriteFailpoint).
+// Whatever byte the "device" dies at, the previous checkpoint at the
+// destination path must stay byte-identical and readable, and no *.tmp
+// litter may survive. Also covers the v4 FaultPolicy config round-trip.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/hsgd.h"
+#include "test_main.h"
+
+namespace hsgd {
+namespace {
+
+namespace fs = std::filesystem;
+
+Dataset SmallDataset(uint64_t seed = 5) {
+  SyntheticSpec spec;
+  spec.num_rows = 300;
+  spec.num_cols = 200;
+  spec.train_nnz = 12000;
+  spec.test_nnz = 1200;
+  spec.params.k = 8;
+  spec.params.learning_rate = 0.01f;
+  spec.noise_stddev = 0.3;
+  auto ds = GenerateSynthetic(spec, seed);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TrainConfig SmallConfig() {
+  TrainConfig cfg;
+  cfg.algorithm = Algorithm::kHsgd;
+  cfg.hardware.num_cpu_threads = 4;
+  cfg.hardware.num_gpus = 1;
+  cfg.max_epochs = 4;
+  cfg.use_dataset_target = false;
+  cfg.eval_threads = 2;
+  return cfg;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_TRUE(f != nullptr);
+  if (f == nullptr) return {};
+  std::string bytes;
+  char buf[1 << 14];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, got);
+  std::fclose(f);
+  return bytes;
+}
+
+// A short write at any offset must surface as a failed Status while the
+// previous checkpoint stays byte-identical, readable, and tmp-free.
+void TestFailpointPreservesPreviousCheckpoint() {
+  Dataset ds = SmallDataset();
+  auto session = Session::Create(ds, SmallConfig());
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  EXPECT_TRUE((*session)->RunEpoch().ok());
+
+  const std::string path = "checkpoint_test_durable.ckpt";
+  const std::string tmp = path + ".tmp";
+  EXPECT_TRUE((*session)->SaveCheckpoint(path).ok());
+  const std::string baseline = ReadFileBytes(path);
+  EXPECT_TRUE(baseline.size() > 8000u);  // failpoints below must hit mid-file
+
+  // Advance the session so a successful overwrite WOULD change the file.
+  EXPECT_TRUE((*session)->RunEpoch().ok());
+
+  for (int64_t failpoint : {0, 1, 9, 1000, 8000}) {
+    SetCheckpointWriteFailpoint(failpoint);
+    const Status overwrite = (*session)->SaveCheckpoint(path);
+    SetCheckpointWriteFailpoint(-1);
+    EXPECT_FALSE(overwrite.ok());
+    if (overwrite.ok()) continue;
+    EXPECT_TRUE(overwrite.code() == StatusCode::kInternal);
+    // Durability: previous bytes intact, still readable, no tmp litter.
+    EXPECT_TRUE(ReadFileBytes(path) == baseline);
+    EXPECT_FALSE(fs::exists(tmp));
+    auto back = ReadCheckpoint(path);
+    EXPECT_TRUE(back.ok());
+    if (back.ok()) EXPECT_EQ(back->epochs_run, 1);
+    EXPECT_TRUE(Session::Restore(path, ds).ok());
+  }
+
+  // Failpoint cleared: the overwrite lands and the file actually moves.
+  EXPECT_TRUE((*session)->SaveCheckpoint(path).ok());
+  EXPECT_TRUE(ReadFileBytes(path) != baseline);
+  EXPECT_FALSE(fs::exists(tmp));
+  auto after = ReadCheckpoint(path);
+  EXPECT_TRUE(after.ok());
+  if (after.ok()) EXPECT_EQ(after->epochs_run, 2);
+  auto resumed = Session::Restore(path, ds);
+  EXPECT_TRUE(resumed.ok());
+  if (resumed.ok()) EXPECT_EQ((*resumed)->epochs_run(), 2);
+
+  std::remove(path.c_str());
+}
+
+// Failing the very first write to a fresh path must leave NO file behind
+// (neither the destination nor the temp).
+void TestFailpointOnFreshPathLeavesNothing() {
+  Dataset ds = SmallDataset();
+  auto session = Session::Create(ds, SmallConfig());
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  EXPECT_TRUE((*session)->RunEpoch().ok());
+
+  const std::string path = "checkpoint_test_fresh.ckpt";
+  std::remove(path.c_str());
+  SetCheckpointWriteFailpoint(0);
+  EXPECT_FALSE((*session)->SaveCheckpoint(path).ok());
+  SetCheckpointWriteFailpoint(-1);
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+// v4: the FaultPolicy travels with the config, so a restored run keeps
+// autosaving (cadence, path, retry envelope, watchdog, policy) the way
+// the original did.
+void TestFaultPolicyRoundTrip() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig();
+  cfg.fault.autosave_every = 3;
+  cfg.fault.autosave_path = "checkpoint_test_auto.ckpt";
+  cfg.fault.checkpoint_retry.max_attempts = 7;
+  cfg.fault.checkpoint_retry.initial_backoff = 0.001;
+  cfg.fault.checkpoint_retry.multiplier = 3.0;
+  cfg.fault.checkpoint_retry.jitter = 0.5;
+  cfg.fault.checkpoint_retry.max_backoff = 0.125;
+  cfg.fault.lease_deadline_factor = 5.5;
+  cfg.fault.on_device_loss = DegradePolicy::kAbort;
+
+  auto session = Session::Create(ds, cfg);
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  EXPECT_TRUE((*session)->RunEpoch().ok());
+  const std::string path = "checkpoint_test_policy.ckpt";
+  EXPECT_TRUE((*session)->SaveCheckpoint(path).ok());
+
+  auto ckpt = ReadCheckpoint(path);
+  EXPECT_TRUE(ckpt.ok());
+  if (ckpt.ok()) {
+    const FaultPolicy& fault = ckpt->config.fault;
+    EXPECT_EQ(fault.autosave_every, 3);
+    EXPECT_TRUE(fault.autosave_path == cfg.fault.autosave_path);
+    EXPECT_EQ(fault.checkpoint_retry.max_attempts, 7);
+    EXPECT_EQ(fault.checkpoint_retry.initial_backoff, 0.001);
+    EXPECT_EQ(fault.checkpoint_retry.multiplier, 3.0);
+    EXPECT_EQ(fault.checkpoint_retry.jitter, 0.5);
+    EXPECT_EQ(fault.checkpoint_retry.max_backoff, 0.125);
+    EXPECT_EQ(fault.lease_deadline_factor, 5.5);
+    EXPECT_TRUE(fault.on_device_loss == DegradePolicy::kAbort);
+  }
+  EXPECT_TRUE(Session::Restore(path, ds).ok());
+
+  // A corrupt policy must be rejected structurally, not trusted: write
+  // back a checkpoint whose retry envelope is nonsense.
+  if (ckpt.ok()) {
+    SessionCheckpoint bad = *ckpt;
+    bad.config.fault.checkpoint_retry.max_attempts = -3;
+    const std::string tmp = "checkpoint_test_policy_bad.ckpt";
+    EXPECT_TRUE(WriteCheckpoint(tmp, bad).ok());
+    EXPECT_FALSE(Session::Restore(tmp, ds).ok());
+    std::remove(tmp.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+
+void RunAllTests() {
+  TestFailpointPreservesPreviousCheckpoint();
+  TestFailpointOnFreshPathLeavesNothing();
+  TestFaultPolicyRoundTrip();
+}
+
+}  // namespace hsgd
+
+using hsgd::RunAllTests;
+TEST_MAIN()

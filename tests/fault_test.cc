@@ -1,0 +1,422 @@
+// Fault-tolerance tests for the scripted fault subsystem: plan parsing,
+// the zero-fault bit-identity guarantee (an attached-but-silent injector
+// must not perturb a single bit of the run), crash recovery with lease
+// revocation and deterministic replay, straggler degradation and the
+// wedged-worker watchdog, link faults, checkpoint-retry accounting, and
+// the abort / all-dead failure paths.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/hsgd.h"
+#include "fault/fault_plan.h"
+#include "test_main.h"
+
+namespace hsgd {
+namespace {
+
+Dataset SmallDataset(uint64_t seed = 5) {
+  SyntheticSpec spec;
+  spec.num_rows = 600;
+  spec.num_cols = 500;
+  spec.train_nnz = 40000;
+  spec.test_nnz = 4000;
+  spec.params.k = 16;
+  spec.params.learning_rate = 0.01f;
+  spec.noise_stddev = 0.3;
+  auto ds = GenerateSynthetic(spec, seed);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TrainConfig SmallConfig(Algorithm algorithm) {
+  TrainConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.hardware.num_cpu_threads = 4;
+  cfg.hardware.num_gpus = 2;
+  cfg.max_epochs = 4;
+  cfg.use_dataset_target = false;
+  cfg.eval_threads = 2;
+  return cfg;
+}
+
+struct RunResult {
+  Status status = Status::Ok();
+  Trace trace;
+  TrainStats stats;
+  FaultStats fault;
+  std::vector<float> p, q;
+  int epochs_run = 0;
+};
+
+/// Run a full session; `plan_text == nullptr` means "never call
+/// SetFaultPlan at all" (the subsystem-disabled baseline).
+RunResult RunWithPlan(const Dataset& ds, const TrainConfig& cfg,
+                      const char* plan_text) {
+  RunResult result;
+  auto session = Session::Create(ds, cfg);
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) {
+    result.status = session.status();
+    return result;
+  }
+  if (plan_text != nullptr) {
+    auto plan = FaultPlan::Parse(plan_text);
+    EXPECT_TRUE(plan.ok());
+    if (!plan.ok()) {
+      result.status = plan.status();
+      return result;
+    }
+    EXPECT_TRUE((*session)->SetFaultPlan(*plan).ok());
+  }
+  result.status = (*session)->RunToCompletion();
+  result.trace = (*session)->trace();
+  result.stats = (*session)->stats();
+  result.fault = (*session)->fault_stats();
+  result.p = (*session)->model().DenseP();
+  result.q = (*session)->model().DenseQ();
+  result.epochs_run = (*session)->epochs_run();
+  return result;
+}
+
+void ExpectTracesEqual(const Trace& a, const Trace& b) {
+  EXPECT_EQ(a.points.size(), b.points.size());
+  if (a.points.size() != b.points.size()) return;
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].epoch, b.points[i].epoch);
+    EXPECT_EQ(a.points[i].time, b.points[i].time);
+    EXPECT_EQ(a.points[i].test_rmse, b.points[i].test_rmse);
+    EXPECT_EQ(a.points[i].train_rmse, b.points[i].train_rmse);
+  }
+}
+
+void ExpectRunsBitIdentical(const RunResult& a, const RunResult& b) {
+  ExpectTracesEqual(a.trace, b.trace);
+  EXPECT_TRUE(a.p == b.p);  // bitwise factor equality
+  EXPECT_TRUE(a.q == b.q);
+  EXPECT_EQ(a.stats.sim_seconds, b.stats.sim_seconds);
+  EXPECT_EQ(a.stats.block_tasks, b.stats.block_tasks);
+  EXPECT_EQ(a.stats.stolen_by_gpus, b.stats.stolen_by_gpus);
+  EXPECT_EQ(a.stats.stolen_by_cpus, b.stats.stolen_by_cpus);
+}
+
+void ExpectFaultStatsZero(const FaultStats& stats) {
+  EXPECT_EQ(stats.devices_lost, 0);
+  EXPECT_EQ(stats.leases_revoked, 0);
+  EXPECT_EQ(stats.blocks_requeued, 0);
+  EXPECT_EQ(stats.blocks_lost, 0);
+  EXPECT_EQ(stats.transfer_faults, 0);
+  EXPECT_EQ(stats.checkpoint_failures, 0);
+  EXPECT_FALSE(stats.degraded);
+}
+
+void TestPlanParsing() {
+  const std::string text =
+      "crash:gpu0@e3+0.5; crash:cpu2@e2; slow:gpu1@e2+0.25x8for0.5; "
+      "slow:cpu0@e1x16; link:gpu0@e2+0.1n4; ckpt@e2n3";
+  auto plan = FaultPlan::Parse(text);
+  EXPECT_TRUE(plan.ok());
+  if (plan.ok()) {
+    EXPECT_EQ(plan->specs.size(), 6u);
+    const FaultSpec& crash = plan->specs[0];
+    EXPECT_TRUE(crash.kind == FaultKind::kGpuCrash);
+    EXPECT_EQ(crash.device_index, 0);
+    EXPECT_EQ(crash.epoch, 3);
+    EXPECT_EQ(crash.at_fraction, 0.5);
+    const FaultSpec& slow = plan->specs[2];
+    EXPECT_TRUE(slow.kind == FaultKind::kStraggler);
+    EXPECT_EQ(slow.slowdown, 8.0);
+    EXPECT_EQ(slow.duration, 0.5);
+    const FaultSpec& link = plan->specs[4];
+    EXPECT_TRUE(link.kind == FaultKind::kLinkFault);
+    EXPECT_EQ(link.count, 4);
+    const FaultSpec& ckpt = plan->specs[5];
+    EXPECT_TRUE(ckpt.kind == FaultKind::kCheckpointFault);
+    EXPECT_EQ(ckpt.epoch, 2);
+    EXPECT_EQ(ckpt.count, 3);
+
+    // ToString -> Parse round-trips to the same plan.
+    auto again = FaultPlan::Parse(plan->ToString());
+    EXPECT_TRUE(again.ok());
+    if (again.ok()) EXPECT_TRUE(again->ToString() == plan->ToString());
+  }
+
+  // The empty plan is valid (and must change nothing — see below).
+  auto empty = FaultPlan::Parse("  ");
+  EXPECT_TRUE(empty.ok());
+  if (empty.ok()) EXPECT_TRUE(empty->empty());
+
+  for (const char* bad : {
+           "crash:tpu0@e1",       // unknown device class
+           "crash:gpu0@e0",       // epochs are 1-based
+           "crash:gpu0@e1+1.5",   // fraction outside [0, 1]
+           "slow:gpu0@e1x0.5",    // slowdown must exceed 1
+           "slow:gpu0@e1x4for0",  // degraded window must be positive
+           "link:cpu0@e1n2",      // links hang off GPUs only
+           "crash:gpu0@e1n2",     // count is link/ckpt-only
+           "ckpt@e1n0",           // counts start at 1
+           "crash:gpu0@e1 trailing",
+           "wibble",
+       }) {
+    auto parsed = FaultPlan::Parse(bad);
+    EXPECT_FALSE(parsed.ok());
+    if (parsed.ok()) std::fprintf(stderr, "  (accepted: %s)\n", bad);
+  }
+}
+
+// The heart of the double-apply-safety story: attaching the fault
+// subsystem without any firing fault must reproduce the disabled run
+// bit for bit — traces, factors, stats, everything.
+void TestZeroFaultBitIdentity() {
+  Dataset ds = SmallDataset();
+  for (Algorithm algorithm : {Algorithm::kHsgd, Algorithm::kHsgdStar}) {
+    TrainConfig cfg = SmallConfig(algorithm);
+    RunResult disabled = RunWithPlan(ds, cfg, nullptr);
+    RunResult empty = RunWithPlan(ds, cfg, "");
+    RunResult silent = RunWithPlan(ds, cfg, "crash:gpu0@e99");
+    EXPECT_TRUE(disabled.status.ok());
+    EXPECT_TRUE(empty.status.ok());
+    EXPECT_TRUE(silent.status.ok());
+    ExpectRunsBitIdentical(disabled, empty);
+    ExpectRunsBitIdentical(disabled, silent);
+    ExpectFaultStatsZero(empty.fault);
+    ExpectFaultStatsZero(silent.fault);
+  }
+}
+
+// Killing a GPU halfway through an epoch: its leases are revoked, its
+// stripes are redistributed, training runs to the full epoch budget, and
+// the damaged run is deterministic (exact replay) and close in final
+// RMSE to the fault-free run.
+void TestGpuCrashRecovery() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgdStar);
+  const char* plan = "crash:gpu1@e2+0.5";
+
+  RunResult clean = RunWithPlan(ds, cfg, nullptr);
+  RunResult crashed = RunWithPlan(ds, cfg, plan);
+  EXPECT_TRUE(clean.status.ok());
+  EXPECT_TRUE(crashed.status.ok());
+  EXPECT_EQ(crashed.epochs_run, cfg.max_epochs);
+  EXPECT_EQ(crashed.fault.devices_lost, 1);
+  EXPECT_TRUE(crashed.fault.degraded);
+  EXPECT_TRUE(crashed.fault.leases_revoked >= 1);
+  EXPECT_EQ(crashed.fault.blocks_requeued + crashed.fault.blocks_lost,
+            crashed.fault.leases_revoked);
+  EXPECT_EQ(crashed.fault.blocks_lost, 0);  // one requeue always suffices
+
+  // Every block still applies exactly once per epoch, so the damaged
+  // model converges: final RMSE within 2% of the fault-free run.
+  const double clean_rmse = clean.trace.points.back().test_rmse;
+  const double crashed_rmse = crashed.trace.points.back().test_rmse;
+  EXPECT_TRUE(std::fabs(crashed_rmse / clean_rmse - 1.0) <= 0.02);
+
+  // Deterministic replay: the same seed + plan reproduces the damaged
+  // run exactly, and the evaluation thread count cannot leak in.
+  RunResult replay = RunWithPlan(ds, cfg, plan);
+  EXPECT_TRUE(replay.status.ok());
+  ExpectRunsBitIdentical(crashed, replay);
+  for (int eval_threads : {1, 7}) {
+    TrainConfig alt = cfg;
+    alt.eval_threads = eval_threads;
+    RunResult other = RunWithPlan(ds, alt, plan);
+    EXPECT_TRUE(other.status.ok());
+    ExpectRunsBitIdentical(crashed, other);
+  }
+}
+
+// A CPU crash on the plain HSGD (pool) scheduler: survivors drain the
+// queue, the epoch completes, the run stays deterministic.
+void TestCpuCrashRecovery() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgd);
+  const char* plan = "crash:cpu3@e1+0.25";
+  RunResult crashed = RunWithPlan(ds, cfg, plan);
+  EXPECT_TRUE(crashed.status.ok());
+  EXPECT_EQ(crashed.epochs_run, cfg.max_epochs);
+  EXPECT_EQ(crashed.fault.devices_lost, 1);
+  RunResult replay = RunWithPlan(ds, cfg, plan);
+  EXPECT_TRUE(replay.status.ok());
+  ExpectRunsBitIdentical(crashed, replay);
+}
+
+// A transient straggler (slowdown below the deadline factor) keeps its
+// work but stretches the simulated clock; nobody dies.
+void TestTransientStraggler() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgd);
+  RunResult clean = RunWithPlan(ds, cfg, nullptr);
+  RunResult slow = RunWithPlan(ds, cfg, "slow:cpu1@e1+0.1x4for5.0");
+  EXPECT_TRUE(clean.status.ok());
+  EXPECT_TRUE(slow.status.ok());
+  EXPECT_EQ(slow.fault.devices_lost, 0);
+  EXPECT_TRUE(slow.fault.degraded);
+  EXPECT_TRUE(slow.stats.sim_seconds > clean.stats.sim_seconds);
+  EXPECT_EQ(slow.epochs_run, cfg.max_epochs);
+}
+
+// A permanently wedged worker (slowdown >= lease_deadline_factor) is
+// benched at its next acquire and declared dead by the watchdog rather
+// than dragging every one of its leases past the deadline.
+void TestWedgedWorkerIsRetired() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgd);
+  EXPECT_EQ(cfg.fault.lease_deadline_factor, 8.0);  // default watchdog
+  RunResult wedged = RunWithPlan(ds, cfg, "slow:cpu1@e2x16");
+  EXPECT_TRUE(wedged.status.ok());
+  EXPECT_EQ(wedged.fault.devices_lost, 1);
+  EXPECT_EQ(wedged.epochs_run, cfg.max_epochs);
+}
+
+// Injected PCIe faults: each failed transfer retries with a detection
+// penalty, so the run completes with a strictly later clock.
+void TestLinkFaults() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgdStar);
+  RunResult clean = RunWithPlan(ds, cfg, nullptr);
+  RunResult flaky = RunWithPlan(ds, cfg, "link:gpu0@e1n3");
+  EXPECT_TRUE(clean.status.ok());
+  EXPECT_TRUE(flaky.status.ok());
+  EXPECT_EQ(flaky.fault.transfer_faults, 3);
+  EXPECT_EQ(flaky.fault.devices_lost, 0);
+  EXPECT_TRUE(flaky.stats.sim_seconds > clean.stats.sim_seconds);
+  RunResult replay = RunWithPlan(ds, cfg, "link:gpu0@e1n3");
+  EXPECT_TRUE(replay.status.ok());
+  ExpectRunsBitIdentical(flaky, replay);
+}
+
+// DegradePolicy::kAbort: the first device loss fails the session
+// permanently instead of degrading.
+void TestAbortPolicy() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgd);
+  cfg.fault.on_device_loss = DegradePolicy::kAbort;
+  auto session = Session::Create(ds, cfg);
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  auto plan = FaultPlan::Parse("crash:cpu0@e1+0.3");
+  EXPECT_TRUE(plan.ok());
+  EXPECT_TRUE((*session)->SetFaultPlan(*plan).ok());
+  auto point = (*session)->RunEpoch();
+  EXPECT_FALSE(point.ok());
+  EXPECT_TRUE((*session)->failed());
+  EXPECT_TRUE((*session)->Done());
+  auto again = (*session)->RunEpoch();
+  EXPECT_FALSE(again.ok());
+  if (!again.ok()) {
+    EXPECT_TRUE(again.status().code() == StatusCode::kFailedPrecondition);
+  }
+}
+
+// Losing every worker is unrecoverable under any policy.
+void TestAllWorkersDead() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kCpuOnly);
+  cfg.hardware.num_cpu_threads = 2;
+  auto session = Session::Create(ds, cfg);
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  auto plan = FaultPlan::Parse("crash:cpu0@e1; crash:cpu1@e1+0.2");
+  EXPECT_TRUE(plan.ok());
+  EXPECT_TRUE((*session)->SetFaultPlan(*plan).ok());
+  auto point = (*session)->RunEpoch();
+  EXPECT_FALSE(point.ok());
+  EXPECT_TRUE((*session)->failed());
+  if (!point.ok()) {
+    EXPECT_TRUE(point.status().message().find("dead") != std::string::npos);
+  }
+}
+
+// Autosave + scripted checkpoint IO faults: the retry loop eats the
+// injected failures, the accounting matches, and the autosaved file
+// resumes.
+void TestCheckpointFaultRetry() {
+  Dataset ds = SmallDataset();
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgd);
+  cfg.max_epochs = 2;
+  cfg.fault.autosave_every = 1;
+  cfg.fault.autosave_path = "fault_test_autosave.ckpt";
+  cfg.fault.checkpoint_retry.initial_backoff = 1e-4;
+  cfg.fault.checkpoint_retry.max_backoff = 1e-3;
+  std::remove(cfg.fault.autosave_path.c_str());
+
+  auto session = Session::Create(ds, cfg);
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  auto plan = FaultPlan::Parse("ckpt@e1n2");
+  EXPECT_TRUE(plan.ok());
+  EXPECT_TRUE((*session)->SetFaultPlan(*plan).ok());
+  EXPECT_TRUE((*session)->RunToCompletion().ok());
+  const FaultStats& fault = (*session)->fault_stats();
+  EXPECT_EQ(fault.checkpoint_failures, 2);
+  EXPECT_EQ(fault.checkpoint_retries, 2);
+  EXPECT_EQ(fault.autosave_failures, 0);
+  auto resumed = Session::Restore(cfg.fault.autosave_path, ds);
+  EXPECT_TRUE(resumed.ok());
+  if (resumed.ok()) EXPECT_EQ((*resumed)->epochs_run(), 2);
+  std::remove(cfg.fault.autosave_path.c_str());
+
+  // Budget exhausted: the autosave is abandoned (tallied, warned) but
+  // training itself keeps going.
+  cfg.fault.checkpoint_retry.max_attempts = 2;
+  auto stubborn = Session::Create(ds, cfg);
+  EXPECT_TRUE(stubborn.ok());
+  if (!stubborn.ok()) return;
+  auto many = FaultPlan::Parse("ckpt@e1n99");
+  EXPECT_TRUE(many.ok());
+  EXPECT_TRUE((*stubborn)->SetFaultPlan(*many).ok());
+  EXPECT_TRUE((*stubborn)->RunToCompletion().ok());
+  EXPECT_EQ((*stubborn)->fault_stats().autosave_failures, 2);
+  EXPECT_EQ((*stubborn)->epochs_run(), 2);
+  std::remove(cfg.fault.autosave_path.c_str());
+}
+
+// SetFaultPlan validates targets against the actual fleet.
+void TestPlanValidation() {
+  Dataset ds = SmallDataset();
+  auto session = Session::Create(ds, SmallConfig(Algorithm::kHsgd));
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  auto out_of_range = FaultPlan::Parse("crash:gpu5@e1");
+  EXPECT_TRUE(out_of_range.ok());
+  auto status = (*session)->SetFaultPlan(*out_of_range);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.message().find("gpu5") != std::string::npos);
+
+  auto gpu_only = Session::Create(ds, SmallConfig(Algorithm::kGpuOnly));
+  EXPECT_TRUE(gpu_only.ok());
+  if (gpu_only.ok()) {
+    auto cpu_fault = FaultPlan::Parse("crash:cpu0@e1");
+    EXPECT_TRUE(cpu_fault.ok());
+    EXPECT_FALSE((*gpu_only)->SetFaultPlan(*cpu_fault).ok());
+    // Checkpoint faults target no device and always validate.
+    auto ckpt = FaultPlan::Parse("ckpt@e1n1");
+    EXPECT_TRUE(ckpt.ok());
+    EXPECT_TRUE((*gpu_only)->SetFaultPlan(*ckpt).ok());
+  }
+}
+
+}  // namespace
+
+void RunAllTests() {
+  TestPlanParsing();
+  TestZeroFaultBitIdentity();
+  TestGpuCrashRecovery();
+  TestCpuCrashRecovery();
+  TestTransientStraggler();
+  TestWedgedWorkerIsRetired();
+  TestLinkFaults();
+  TestAbortPolicy();
+  TestAllWorkersDead();
+  TestCheckpointFaultRetry();
+  TestPlanValidation();
+}
+
+}  // namespace hsgd
+
+using hsgd::RunAllTests;
+TEST_MAIN()

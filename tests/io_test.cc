@@ -334,6 +334,111 @@ void TestMalformedInputs() {
   EXPECT_TRUE(missing.status().code() == StatusCode::kNotFound);
 }
 
+void TestErrorBudget() {
+  const std::string path = "io_test_budget.tmp";
+
+  // 3 bad lines (non-numeric item, bad rating, truncated) interleaved
+  // with 3 good ones. Budget 3 absorbs them; the report counts each with
+  // its line; the surviving ratings are exactly the good lines, for any
+  // thread count.
+  WriteFile(path,
+            "1::10::3\n1::xx::3\n2::10::9.5\n2::20::4\n3::30\n3::30::2\n");
+  for (int threads : {1, 4}) {
+    LoadOptions options;
+    options.threads = threads;
+    options.max_bad_lines = 3;
+    auto data = io::LoadRatings(path, DataFormat::kMovieLens, options);
+    EXPECT_TRUE(data.ok());
+    if (!data.ok()) continue;
+    EXPECT_EQ(data->ratings.size(), 3u);
+    EXPECT_EQ(data->bad_lines.total, 3);
+    EXPECT_EQ(data->bad_lines.sample.size(), 3u);
+    // Quarantined lines arrive in file order with their line numbers.
+    EXPECT_EQ(data->bad_lines.sample[0].line, 2);
+    EXPECT_EQ(data->bad_lines.sample[1].line, 3);
+    EXPECT_EQ(data->bad_lines.sample[2].line, 5);
+    EXPECT_EQ(data->bad_lines.sample[0].file, path);
+    EXPECT_TRUE(data->bad_lines.sample[0].detail.find("not an integer") !=
+                std::string::npos);
+    const Ratings expected = {{0, 0, 3.0f}, {1, 1, 4.0f}, {2, 2, 2.0f}};
+    ExpectRatingsEqual(data->ratings, expected);
+  }
+
+  // Budget 2 with those same 3 bad lines: the load fails naming the
+  // first line PAST the budget (line 5), again thread-count independent.
+  for (int threads : {1, 4}) {
+    LoadOptions options;
+    options.threads = threads;
+    options.max_bad_lines = 2;
+    auto data = io::LoadRatings(path, DataFormat::kMovieLens, options);
+    EXPECT_FALSE(data.ok());
+    if (data.ok()) continue;
+    EXPECT_TRUE(data.status().message().find(path + ":5:") !=
+                std::string::npos);
+  }
+
+  // Duplicates draw from the same budget; the later record is dropped
+  // and the first occurrence survives.
+  WriteFile(path, "1::10::3\n2::20::4\n1::10::5\n");
+  {
+    LoadOptions options;
+    options.max_bad_lines = 1;
+    auto data = io::LoadRatings(path, DataFormat::kMovieLens, options);
+    EXPECT_TRUE(data.ok());
+    if (data.ok()) {
+      EXPECT_EQ(data->ratings.size(), 2u);
+      EXPECT_EQ(data->ratings[0].r, 3.0f);  // first occurrence kept
+      EXPECT_EQ(data->bad_lines.total, 1);
+      EXPECT_TRUE(data->bad_lines.sample[0].detail.find("duplicate") !=
+                  std::string::npos);
+      EXPECT_EQ(data->bad_lines.sample[0].line, 3);
+    }
+    // Parse-phase bad lines and duplicates share one budget: a budget of
+    // 1 spent on a parse failure leaves nothing for the duplicate.
+    WriteFile(path, "1::xx::3\n1::10::3\n2::20::4\n1::10::5\n");
+    auto both = io::LoadRatings(path, DataFormat::kMovieLens, options);
+    EXPECT_FALSE(both.ok());
+    if (!both.ok()) {
+      EXPECT_TRUE(both.status().message().find(path + ":4:") !=
+                  std::string::npos);
+    }
+  }
+
+  // Netflix: a headerless rating prefix is quarantined under budget too.
+  WriteFile(path, "99,3,2005-01-01\n1:\n7,4,2005-01-02\n");
+  {
+    LoadOptions options;
+    options.max_bad_lines = 1;
+    auto data = io::LoadRatings(path, DataFormat::kNetflix, options);
+    EXPECT_TRUE(data.ok());
+    if (data.ok()) {
+      EXPECT_EQ(data->ratings.size(), 1u);
+      EXPECT_EQ(data->bad_lines.total, 1);
+      EXPECT_TRUE(data->bad_lines.sample[0].detail.find("section header") !=
+                  std::string::npos);
+    }
+  }
+
+  // The sample is capped while the total stays exact.
+  {
+    std::string text;
+    for (int i = 0; i < 30; ++i) text += "bad line " + std::to_string(i) + "\n";
+    text += "1::10::3\n";
+    WriteFile(path, text);
+    LoadOptions options;
+    options.max_bad_lines = 100;
+    auto data = io::LoadRatings(path, DataFormat::kMovieLens, options);
+    EXPECT_TRUE(data.ok());
+    if (data.ok()) {
+      EXPECT_EQ(data->bad_lines.total, 30);
+      EXPECT_EQ(data->bad_lines.sample.size(),
+                static_cast<size_t>(io::BadLineReport::kMaxSample));
+    }
+  }
+
+  std::remove(path.c_str());
+}
+
 void TestCrlfAndBlankLines() {
   const std::string path = "io_test_crlf.tmp";
   WriteFile(path, "1::2::3\r\n\r\n4::5::2.5\r\n");
@@ -459,6 +564,7 @@ void RunAllTests() {
   TestRoundTripWriters();
   TestParallelSerialEquivalence();
   TestMalformedInputs();
+  TestErrorBudget();
   TestCrlfAndBlankLines();
   TestLoadDatasetSplitAndParams();
   TestLineChunking();
