@@ -28,11 +28,30 @@
 
 #include "core/hsgd.h"
 #include "io/loader.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace hsgd::bench {
+
+/// Observability sinks + artifact paths requested on the command line.
+/// Sinks exist only when their artifact was asked for, so a bench run
+/// without obs flags allocates nothing and attaches nothing — the
+/// disabled path stays bit-identical to a build without obs at all.
+struct BenchObs {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string prom_path;
+  std::string report_path;
+  std::shared_ptr<obs::MetricsRegistry> registry;
+  std::shared_ptr<obs::Tracer> tracer;
+
+  /// The (possibly empty) sink set to hand Session::SetObservability.
+  Observability Sinks() const { return {registry.get(), tracer.get()}; }
+};
 
 struct BenchContext {
   CliFlags flags;
@@ -52,6 +71,11 @@ struct BenchContext {
   /// of a synthetic stand-in.
   std::shared_ptr<Dataset> loaded;
   std::string data_path;
+  /// Short bench name from argv[0] ("fig12", "table3", ...), used as the
+  /// run report's "bench" tag when the binary builds no report itself.
+  std::string bench_name = "bench";
+  /// --trace/--metrics/--prom/--report sinks (see BenchObs).
+  BenchObs obs;
 };
 
 inline std::vector<FlagSpec> SharedFlagSpecs() {
@@ -80,6 +104,14 @@ inline std::vector<FlagSpec> SharedFlagSpecs() {
       {"calibrate", "",
        "micro-measure the chosen kernel's real update rate and override "
        "the simulator's cpu.updates_per_sec_k128 with it"},
+      {"trace", "<file>",
+       "write a Chrome trace-event / Perfetto timeline of the run"},
+      {"metrics", "<file>",
+       "write the final metrics snapshot as hsgd.metrics/v1 JSON"},
+      {"prom", "<file>",
+       "write the final metrics snapshot in Prometheus text format"},
+      {"report", "<file>",
+       "write a structured hsgd.run_report/v1 JSON for this run"},
   };
 }
 
@@ -93,6 +125,14 @@ inline BenchContext ParseContext(int argc, char** argv,
   std::vector<FlagSpec> specs = SharedFlagSpecs();
   for (FlagSpec& spec : extra_flags) specs.push_back(std::move(spec));
   BenchContext ctx;
+  if (argc > 0 && argv[0] != nullptr) {
+    std::string name = argv[0];
+    const size_t slash = name.find_last_of("/\\");
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    // "bench_fig12_rmse_curves" -> "fig12_rmse_curves".
+    if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+    if (!name.empty()) ctx.bench_name = name;
+  }
   Status parsed = ctx.flags.Parse(argc, argv, specs);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
@@ -120,6 +160,19 @@ inline BenchContext ParseContext(int argc, char** argv,
     ctx.kernel = *kernel;
   }
   ctx.calibrate = ctx.flags.GetBool("calibrate", false);
+  // Observability sinks before the --data load, so the loader's io.*
+  // counters land in the same registry as the training metrics.
+  ctx.obs.trace_path = ctx.flags.GetString("trace", "");
+  ctx.obs.metrics_path = ctx.flags.GetString("metrics", "");
+  ctx.obs.prom_path = ctx.flags.GetString("prom", "");
+  ctx.obs.report_path = ctx.flags.GetString("report", "");
+  if (!ctx.obs.metrics_path.empty() || !ctx.obs.prom_path.empty() ||
+      !ctx.obs.report_path.empty()) {
+    ctx.obs.registry = std::make_shared<obs::MetricsRegistry>();
+  }
+  if (!ctx.obs.trace_path.empty()) {
+    ctx.obs.tracer = std::make_shared<obs::Tracer>();
+  }
   std::string list = ctx.flags.GetString("datasets", "");
   std::string data = ctx.flags.GetString("data", "");
   if (!data.empty()) {
@@ -131,6 +184,7 @@ inline BenchContext ParseContext(int argc, char** argv,
         << format.status().message();
     io::LoadOptions load_options;
     load_options.threads = std::max(1, ctx.threads);
+    load_options.metrics = ctx.obs.registry.get();
     load_options.max_bad_lines = ctx.flags.GetInt("max-bad-lines", 0);
     HSGD_CHECK(load_options.max_bad_lines >= 0)
         << "--max-bad-lines must be >= 0";
@@ -204,15 +258,69 @@ inline TrainConfig MakeConfig(Algorithm algorithm, const BenchContext& ctx) {
 }
 
 /// \brief Run a full training session (aborting on any error) and return
-/// its trace + stats. `observer` (optional, borrowed) watches the epochs
-/// as they complete.
-inline TrainResult RunSession(const Dataset& ds, const TrainConfig& cfg,
+/// its trace + stats. The context's observability sinks (when any were
+/// requested) are attached to the session; `observer` (optional,
+/// borrowed) watches the epochs as they complete.
+inline TrainResult RunSession(const BenchContext& ctx, const Dataset& ds,
+                              const TrainConfig& cfg,
                               EpochObserver* observer = nullptr) {
   auto session = Session::Create(ds, cfg);
   HSGD_CHECK_OK(session.status());
+  (*session)->SetObservability(ctx.obs.Sinks());
   if (observer != nullptr) (*session)->AddObserver(observer);
   HSGD_CHECK_OK((*session)->RunToCompletion());
   return {(*session)->trace(), (*session)->stats()};
+}
+
+/// \brief Dump `content` to `path`, aborting on IO failure (bench
+/// artifacts are the run's whole point; a silent short write would
+/// poison CI baselines).
+inline void WriteTextArtifact(const std::string& path,
+                              const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  HSGD_CHECK(f != nullptr) << "cannot open artifact file '" << path << "'";
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  HSGD_CHECK(written == content.size() && closed)
+      << "short write to artifact file '" << path << "'";
+}
+
+/// \brief Write every obs artifact the command line asked for: the trace
+/// timeline, the metrics snapshot (JSON and/or Prometheus text), and —
+/// when `report` is given — the run report with the snapshot attached.
+/// No-op for artifacts that were not requested.
+inline void WriteObsArtifacts(const BenchContext& ctx,
+                              obs::RunReport* report = nullptr) {
+  // Benches that build no bench-specific results still honor --report:
+  // fall back to a bare envelope (run config + metrics snapshot) so every
+  // binary's artifact speaks hsgd.run_report/v1.
+  obs::RunReport fallback(ctx.bench_name);
+  if (report == nullptr && !ctx.obs.report_path.empty()) {
+    fallback.config()
+        .Set("scale", obs::Json::Double(ctx.scale_mult))
+        .Set("threads", obs::Json::Int(ctx.threads))
+        .Set("gpus", obs::Json::Int(ctx.gpus))
+        .Set("workers", obs::Json::Int(ctx.workers))
+        .Set("epochs", obs::Json::Int(ctx.max_epochs))
+        .Set("seed", obs::Json::Int(static_cast<int64_t>(ctx.seed)));
+    report = &fallback;
+  }
+  if (ctx.obs.registry != nullptr) {
+    const obs::MetricsSnapshot snap = ctx.obs.registry->Snapshot();
+    if (report != nullptr) report->AttachMetrics(snap);
+    if (!ctx.obs.metrics_path.empty()) {
+      WriteTextArtifact(ctx.obs.metrics_path, snap.ToJson().Dump(2) + "\n");
+    }
+    if (!ctx.obs.prom_path.empty()) {
+      WriteTextArtifact(ctx.obs.prom_path, snap.ToPrometheus());
+    }
+  }
+  if (ctx.obs.tracer != nullptr && !ctx.obs.trace_path.empty()) {
+    HSGD_CHECK_OK(ctx.obs.tracer->WriteJson(ctx.obs.trace_path));
+  }
+  if (report != nullptr && !ctx.obs.report_path.empty()) {
+    HSGD_CHECK_OK(report->WriteTo(ctx.obs.report_path));
+  }
 }
 
 inline void PrintHeader(const std::string& title) {

@@ -64,12 +64,14 @@ void Capture(Session* session, ScenarioResult* out) {
 /// One full run. `plan_text == nullptr` leaves the fault subsystem
 /// entirely unattached (the disabled baseline).
 ScenarioResult RunScenario(const std::string& name, const Dataset& ds,
-                           const TrainConfig& cfg, const char* plan_text) {
+                           const TrainConfig& cfg, const char* plan_text,
+                           const Observability& sinks) {
   ScenarioResult result;
   result.name = name;
   result.plan = plan_text == nullptr ? "" : plan_text;
   auto session = Session::Create(ds, cfg);
   HSGD_CHECK_OK(session.status());
+  (*session)->SetObservability(sinks);
   if (plan_text != nullptr) {
     auto plan = FaultPlan::Parse(plan_text);
     HSGD_CHECK_OK(plan.status());
@@ -85,7 +87,8 @@ ScenarioResult RunScenario(const std::string& name, const Dataset& ds,
 /// re-attach the plan (runtime fault state is deliberately not
 /// checkpointed), and drive to the full budget.
 ScenarioResult RunKillResume(const Dataset& ds, const TrainConfig& base,
-                             const std::string& plan_text) {
+                             const std::string& plan_text,
+                             const Observability& sinks) {
   ScenarioResult result;
   result.name = "killresume";
   result.plan = plan_text;
@@ -99,6 +102,7 @@ ScenarioResult RunKillResume(const Dataset& ds, const TrainConfig& base,
   {
     auto session = Session::Create(ds, cfg);
     HSGD_CHECK_OK(session.status());
+    (*session)->SetObservability(sinks);
     HSGD_CHECK_OK((*session)->SetFaultPlan(*plan));
     const int stop_after = std::max(2, cfg.max_epochs / 2);
     while (!(*session)->Done() &&
@@ -109,6 +113,9 @@ ScenarioResult RunKillResume(const Dataset& ds, const TrainConfig& base,
   }
   auto resumed = Session::Restore(cfg.fault.autosave_path, ds);
   HSGD_CHECK_OK(resumed.status());
+  // Runtime-attached state (fault plan, observability) is deliberately
+  // not checkpointed; both come back via fresh attach.
+  (*resumed)->SetObservability(sinks);
   HSGD_CHECK_OK((*resumed)->SetFaultPlan(*plan));
   result.status = (*resumed)->RunToCompletion();
   HSGD_CHECK_OK(result.status) << "scenario killresume (post-restore)";
@@ -128,7 +135,7 @@ bool BitIdentical(const ScenarioResult& a, const ScenarioResult& b) {
     }
   }
   return a.p == b.p && a.q == b.q &&
-         a.stats.sim_seconds == b.stats.sim_seconds;
+         a.stats.sim.seconds == b.stats.sim.seconds;
 }
 
 double FinalRmse(const ScenarioResult& r) {
@@ -139,7 +146,7 @@ void PrintScenario(const ScenarioResult& r, double baseline_rmse) {
   std::printf(
       "%-10s  sim %8.4fs  rmse %.6f (%+.3f%%)  lost %d  revoked %lld  "
       "requeued %lld  dropped %lld  xfer %lld%s\n",
-      r.name.c_str(), r.stats.sim_seconds, FinalRmse(r),
+      r.name.c_str(), r.stats.sim.seconds, FinalRmse(r),
       baseline_rmse > 0.0 ? (FinalRmse(r) / baseline_rmse - 1.0) * 100.0
                           : 0.0,
       r.fault.devices_lost, static_cast<long long>(r.fault.leases_revoked),
@@ -149,29 +156,31 @@ void PrintScenario(const ScenarioResult& r, double baseline_rmse) {
       r.fault.degraded ? "  [degraded]" : "");
 }
 
-void JsonScenario(FILE* f, const ScenarioResult& r, double baseline_rmse,
-                  bool last) {
-  std::fprintf(
-      f,
-      "      {\"name\": \"%s\", \"plan\": \"%s\", \"epochs_run\": %d, "
-      "\"sim_seconds\": %.9g, \"final_test_rmse\": %.9g, "
-      "\"rmse_ratio_vs_baseline\": %.9g, \"devices_lost\": %d, "
-      "\"leases_revoked\": %lld, \"blocks_requeued\": %lld, "
-      "\"blocks_lost\": %lld, \"transfer_faults\": %lld, "
-      "\"checkpoint_failures\": %lld, \"autosave_failures\": %lld, "
-      "\"degraded\": %s, \"factor_checksum\": \"%016llx\"}%s\n",
-      r.name.c_str(), r.plan.c_str(), r.epochs_run, r.stats.sim_seconds,
-      FinalRmse(r),
-      baseline_rmse > 0.0 ? FinalRmse(r) / baseline_rmse : 0.0,
-      r.fault.devices_lost, static_cast<long long>(r.fault.leases_revoked),
-      static_cast<long long>(r.fault.blocks_requeued),
-      static_cast<long long>(r.fault.blocks_lost),
-      static_cast<long long>(r.fault.transfer_faults),
-      static_cast<long long>(r.fault.checkpoint_failures),
-      static_cast<long long>(r.fault.autosave_failures),
-      r.fault.degraded ? "true" : "false",
-      static_cast<unsigned long long>(FactorChecksum(r)),
-      last ? "" : ",");
+obs::Json JsonScenario(const ScenarioResult& r, double baseline_rmse) {
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "%016llx",
+                static_cast<unsigned long long>(FactorChecksum(r)));
+  return obs::Json::Object()
+      .Set("name", obs::Json::Str(r.name))
+      .Set("plan", obs::Json::Str(r.plan))
+      .Set("epochs_run", obs::Json::Int(r.epochs_run))
+      .Set("sim_seconds", obs::Json::Double(r.stats.sim.seconds))
+      .Set("final_test_rmse", obs::Json::Double(FinalRmse(r)))
+      .Set("rmse_ratio_vs_baseline",
+           obs::Json::Double(baseline_rmse > 0.0
+                                 ? FinalRmse(r) / baseline_rmse
+                                 : 0.0))
+      .Set("devices_lost", obs::Json::Int(r.fault.devices_lost))
+      .Set("leases_revoked", obs::Json::Int(r.fault.leases_revoked))
+      .Set("blocks_requeued", obs::Json::Int(r.fault.blocks_requeued))
+      .Set("blocks_lost", obs::Json::Int(r.fault.blocks_lost))
+      .Set("transfer_faults", obs::Json::Int(r.fault.transfer_faults))
+      .Set("checkpoint_failures",
+           obs::Json::Int(r.fault.checkpoint_failures))
+      .Set("autosave_failures",
+           obs::Json::Int(r.fault.autosave_failures))
+      .Set("degraded", obs::Json::Bool(r.fault.degraded))
+      .Set("factor_checksum", obs::Json::Str(checksum));
 }
 
 }  // namespace
@@ -197,13 +206,11 @@ int main(int argc, char** argv) {
   const std::string link_plan =
       StrFormat("link:gpu0@e%d+0.25n6", late_epoch);
 
-  FILE* f = std::fopen(out_path.c_str(), "w");
-  HSGD_CHECK(f != nullptr) << "cannot write " << out_path;
-  std::fprintf(f,
-               "{\n  \"bench\": \"fault_recovery\",\n"
-               "  \"epochs\": %d,\n  \"seed\": %llu,\n  \"datasets\": [\n",
-               ctx.max_epochs,
-               static_cast<unsigned long long>(ctx.seed));
+  obs::RunReport report("fault_recovery");
+  report.config()
+      .Set("epochs", obs::Json::Int(ctx.max_epochs))
+      .Set("seed", obs::Json::Int(static_cast<int64_t>(ctx.seed)))
+      .Set("scale", obs::Json::Double(ctx.scale_mult));
 
   bool all_accepted = true;
   for (size_t d = 0; d < ctx.presets.size(); ++d) {
@@ -218,16 +225,17 @@ int main(int argc, char** argv) {
 
     PrintHeader("fault recovery: " + title);
     std::vector<ScenarioResult> results;
-    results.push_back(RunScenario("baseline", ds, cfg, nullptr));
+    const Observability sinks = ctx.obs.Sinks();
+    results.push_back(RunScenario("baseline", ds, cfg, nullptr, sinks));
     const double baseline_rmse = FinalRmse(results.front());
-    results.push_back(RunScenario("zerofault", ds, cfg, ""));
+    results.push_back(RunScenario("zerofault", ds, cfg, "", sinks));
     results.push_back(
-        RunScenario("crash50", ds, cfg, crash_plan.c_str()));
+        RunScenario("crash50", ds, cfg, crash_plan.c_str(), sinks));
     results.push_back(
-        RunScenario("straggler", ds, cfg, straggler_plan.c_str()));
+        RunScenario("straggler", ds, cfg, straggler_plan.c_str(), sinks));
     results.push_back(
-        RunScenario("flakylink", ds, cfg, link_plan.c_str()));
-    results.push_back(RunKillResume(ds, cfg, crash_plan));
+        RunScenario("flakylink", ds, cfg, link_plan.c_str(), sinks));
+    results.push_back(RunKillResume(ds, cfg, crash_plan, sinks));
     for (const ScenarioResult& r : results) {
       PrintScenario(r, baseline_rmse);
     }
@@ -246,24 +254,24 @@ int main(int argc, char** argv) {
         zerofault_identical ? "yes" : "NO",
         crash_ratio, crash_converged ? "ok" : "VIOLATED");
 
-    std::fprintf(f,
-                 "    {\"dataset\": \"%s\",\n     \"scenarios\": [\n",
-                 title.c_str());
-    for (size_t i = 0; i < results.size(); ++i) {
-      JsonScenario(f, results[i], baseline_rmse,
-                   i + 1 == results.size());
+    obs::Json scenarios = obs::Json::Array();
+    for (const ScenarioResult& r : results) {
+      scenarios.Push(JsonScenario(r, baseline_rmse));
     }
-    std::fprintf(f,
-                 "     ],\n     \"zerofault_bitwise_identical\": %s,\n"
-                 "     \"crash50_rmse_ratio\": %.9g,\n"
-                 "     \"accepted\": %s}%s\n",
-                 zerofault_identical ? "true" : "false", crash_ratio,
-                 accepted ? "true" : "false",
-                 d + 1 == ctx.presets.size() ? "" : ",");
+    report.results().Push(
+        obs::Json::Object()
+            .Set("dataset", obs::Json::Str(title))
+            .Set("scenarios", std::move(scenarios))
+            .Set("zerofault_bitwise_identical",
+                 obs::Json::Bool(zerofault_identical))
+            .Set("crash50_rmse_ratio", obs::Json::Double(crash_ratio))
+            .Set("accepted", obs::Json::Bool(accepted)));
   }
-  std::fprintf(f, "  ],\n  \"accepted\": %s\n}\n",
-               all_accepted ? "true" : "false");
-  std::fclose(f);
+  report.config().Set("accepted", obs::Json::Bool(all_accepted));
+  // Attaches the metrics snapshot (when a registry rode along) before the
+  // report lands at --out, so both copies carry it.
+  WriteObsArtifacts(ctx, &report);
+  HSGD_CHECK_OK(report.WriteTo(out_path));
 
   std::printf("\nwrote %s\n", out_path.c_str());
   if (!all_accepted) {

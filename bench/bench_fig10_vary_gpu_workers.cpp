@@ -14,10 +14,11 @@ using namespace hsgd::bench;
 
 namespace {
 
-SimTime TimeToTarget(const Dataset& ds, TrainConfig cfg) {
+SimTime TimeToTarget(const BenchContext& ctx, const Dataset& ds,
+                     TrainConfig cfg) {
   cfg.use_dataset_target = true;
-  TrainResult result = RunSession(ds, cfg);
-  return result.stats.reached_target
+  TrainResult result = RunSession(ctx, ds, cfg);
+  return result.stats.sim.reached_target
              ? result.trace.TimeToReach(ds.target_rmse)
              : kSimTimeNever;
 }
@@ -38,19 +39,20 @@ int main(int argc, char** argv) {
 
     // CPU-Only does not depend on W; run it once.
     SimTime cpu_time =
-        TimeToTarget(ds, MakeConfig(Algorithm::kCpuOnly, ctx));
+        TimeToTarget(ctx, ds, MakeConfig(Algorithm::kCpuOnly, ctx));
     for (int w : kWorkerGrid) {
       BenchContext wctx = ctx;
       wctx.workers = w;
       SimTime gpu_time =
-          TimeToTarget(ds, MakeConfig(Algorithm::kGpuOnly, wctx));
+          TimeToTarget(wctx, ds, MakeConfig(Algorithm::kGpuOnly, wctx));
       SimTime star_time =
-          TimeToTarget(ds, MakeConfig(Algorithm::kHsgdStar, wctx));
+          TimeToTarget(wctx, ds, MakeConfig(Algorithm::kHsgdStar, wctx));
       std::printf("%-10d %12s %12s %12s\n", w,
                   FormatTime(cpu_time).c_str(),
                   FormatTime(gpu_time).c_str(),
                   FormatTime(star_time).c_str());
     }
   }
+  WriteObsArtifacts(ctx);
   return 0;
 }

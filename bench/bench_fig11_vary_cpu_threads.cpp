@@ -13,10 +13,11 @@ using namespace hsgd::bench;
 
 namespace {
 
-SimTime TimeToTarget(const Dataset& ds, TrainConfig cfg) {
+SimTime TimeToTarget(const BenchContext& ctx, const Dataset& ds,
+                     TrainConfig cfg) {
   cfg.use_dataset_target = true;
-  TrainResult result = RunSession(ds, cfg);
-  return result.stats.reached_target
+  TrainResult result = RunSession(ctx, ds, cfg);
+  return result.stats.sim.reached_target
              ? result.trace.TimeToReach(ds.target_rmse)
              : kSimTimeNever;
 }
@@ -37,19 +38,20 @@ int main(int argc, char** argv) {
 
     // GPU-Only does not depend on nc; run it once.
     SimTime gpu_time =
-        TimeToTarget(ds, MakeConfig(Algorithm::kGpuOnly, ctx));
+        TimeToTarget(ctx, ds, MakeConfig(Algorithm::kGpuOnly, ctx));
     for (int nc : kThreadGrid) {
       BenchContext tctx = ctx;
       tctx.threads = nc;
       SimTime cpu_time =
-          TimeToTarget(ds, MakeConfig(Algorithm::kCpuOnly, tctx));
+          TimeToTarget(tctx, ds, MakeConfig(Algorithm::kCpuOnly, tctx));
       SimTime star_time =
-          TimeToTarget(ds, MakeConfig(Algorithm::kHsgdStar, tctx));
+          TimeToTarget(tctx, ds, MakeConfig(Algorithm::kHsgdStar, tctx));
       std::printf("%-10d %12s %12s %12s\n", nc,
                   FormatTime(cpu_time).c_str(),
                   FormatTime(gpu_time).c_str(),
                   FormatTime(star_time).c_str());
     }
   }
+  WriteObsArtifacts(ctx);
   return 0;
 }

@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
   // Drives one session to completion (or --stop-after), checkpointing as
   // requested. Returns false when --stop-after cut the run short.
   auto drive = [&](Session* session) {
+    session->SetObservability(ctx.obs.Sinks());
     CurvePrinter printer(AlgorithmName(session->config().algorithm));
     session->AddObserver(&printer);
     while (!session->Done()) {
@@ -139,7 +140,10 @@ int main(int argc, char** argv) {
       HSGD_CHECK_OK(restored.status());
       std::printf("# resumed from %s at epoch %d\n", resume_path.c_str(),
                   (*restored)->epochs_run());
-      if (!drive(restored->get())) return 0;
+      if (!drive(restored->get())) {
+        WriteObsArtifacts(ctx);
+        return 0;
+      }
       continue;
     }
     for (Algorithm algorithm : algos) {
@@ -147,8 +151,12 @@ int main(int argc, char** argv) {
       cfg.use_dataset_target = false;  // run the full budget: full curves
       auto session = Session::Create(ds, cfg);
       HSGD_CHECK_OK(session.status());
-      if (!drive(session->get())) return 0;
+      if (!drive(session->get())) {
+        WriteObsArtifacts(ctx);
+        return 0;
+      }
     }
   }
+  WriteObsArtifacts(ctx);
   return 0;
 }

@@ -24,14 +24,15 @@ int main(int argc, char** argv) {
     for (Algorithm algorithm : {Algorithm::kHsgd, Algorithm::kHsgdStar}) {
       TrainConfig cfg = MakeConfig(algorithm, ctx);
       cfg.use_dataset_target = false;
-      TrainResult result = RunSession(ds, cfg);
+      TrainResult result = RunSession(ctx, ds, cfg);
       for (const TracePoint& p : result.trace.points) {
         std::printf("%-10s %8d %12.3f %12.4f\n", AlgorithmName(algorithm),
                     p.epoch, p.time, p.test_rmse);
       }
       std::printf("%-10s update-rate CV = %.3f\n",
-                  AlgorithmName(algorithm), result.stats.update_rate_cv);
+                  AlgorithmName(algorithm), result.stats.sim.update_rate_cv);
     }
   }
+  WriteObsArtifacts(ctx);
   return 0;
 }

@@ -8,11 +8,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/hsgd.h"
+#include "obs/report.h"
 #include "sched/blocked_matrix.h"
 #include "sched/star_scheduler.h"
 #include "sched/uniform_scheduler.h"
@@ -249,12 +252,66 @@ void RegisterKernelVariantBenches() {
   }
 }
 
+/// Console reporter that also collects every run, so --report can render
+/// them into the shared hsgd.run_report/v1 envelope after the fact.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      obs::Json entry = obs::Json::Object();
+      entry.Set("name", obs::Json::Str(r.benchmark_name()))
+          .Set("iterations", obs::Json::Int(r.iterations))
+          .Set("real_time", obs::Json::Double(r.GetAdjustedRealTime()))
+          .Set("cpu_time", obs::Json::Double(r.GetAdjustedCPUTime()))
+          .Set("time_unit",
+               obs::Json::Str(benchmark::GetTimeUnitString(r.time_unit)));
+      obs::Json counters = obs::Json::Object();
+      for (const auto& [name, counter] : r.counters) {
+        counters.Set(name, obs::Json::Double(counter.value));
+      }
+      entry.Set("counters", std::move(counters));
+      results_.Push(std::move(entry));
+    }
+  }
+
+  obs::Json TakeResults() { return std::move(results_); }
+
+ private:
+  obs::Json results_ = obs::Json::Array();
+};
+
 }  // namespace hsgd
 
 int main(int argc, char** argv) {
+  // --report=<path> is ours, not google-benchmark's: strip it before
+  // Initialize rejects it. --benchmark_out & friends pass through
+  // untouched, so the raw google-benchmark JSON artifact keeps working.
+  std::string report_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--report=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      report_path = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   hsgd::RegisterKernelVariantBenches();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  if (report_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+  hsgd::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  hsgd::obs::RunReport report("micro_kernels");
+  report.results() = reporter.TakeResults();
+  HSGD_CHECK_OK(report.WriteTo(report_path));
+  std::printf("wrote %s\n", report_path.c_str());
   return 0;
 }

@@ -36,15 +36,16 @@ int main(int argc, char** argv) {
       cfg.cost_model = kind;
       cfg.dynamic_scheduling = false;  // isolate the cost-model effect
       cfg.use_dataset_target = false;  // fixed iteration count
-      TrainResult result = RunSession(ds, cfg);
-      split[i][0] = (1.0 - result.stats.alpha) * 100.0;
-      split[i][1] = result.stats.alpha * 100.0;
-      times[i] = result.stats.sim_seconds;
+      TrainResult result = RunSession(ctx, ds, cfg);
+      split[i][0] = (1.0 - result.stats.sim.alpha) * 100.0;
+      split[i][1] = result.stats.sim.alpha * 100.0;
+      times[i] = result.stats.sim.seconds;
       ++i;
     }
     std::printf("%-14s %9.2f%% %9.2f%% %12.3f %9.2f%% %9.2f%% %12.3f\n",
                 DatasetTitle(ctx, preset).c_str(), split[0][0], split[0][1], times[0],
                 split[1][0], split[1][1], times[1]);
   }
+  WriteObsArtifacts(ctx);
   return 0;
 }

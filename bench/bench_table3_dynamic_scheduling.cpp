@@ -7,9 +7,10 @@
 // helps least).
 //
 // Runs through the Session API with an EpochObserver wired into every
-// session: it tracks per-epoch durations and steal deltas mid-run (the
-// scheduler's cumulative counters are sampled at each epoch boundary),
-// and --verbose streams them as the epochs complete.
+// session: it reads per-epoch durations and steal deltas from the
+// session's metrics registry (the sched.steals_by_* counters the event
+// loop exports at each epoch barrier — no bespoke stat plumbing), and
+// --verbose streams them as the epochs complete.
 
 #include <cstdio>
 
@@ -21,14 +22,24 @@ using namespace hsgd::bench;
 namespace {
 
 /// Watches a session's epochs: per-epoch simulated duration and how many
-/// elements the dynamic phase stole during that epoch.
+/// elements the dynamic phase stole during that epoch, read from the
+/// session's attached metrics registry. The registry may be shared
+/// across sessions (counters keep growing), so the watcher baselines at
+/// its first callback and reports deltas from there.
 class EpochWatcher : public EpochObserver {
  public:
   explicit EpochWatcher(bool verbose) : verbose_(verbose) {}
 
+  void OnEpochBegin(const Session& session, int epoch) override {
+    (void)epoch;
+    if (!baselined_) {
+      last_stolen_ = StolenCounter(session);
+      baselined_ = true;
+    }
+  }
+
   void OnEpochEnd(const Session& session, const TracePoint& p) override {
-    TrainStats s = session.stats();
-    const int64_t stolen_now = s.stolen_by_gpus + s.stolen_by_cpus;
+    const int64_t stolen_now = StolenCounter(session);
     const double epoch_seconds = p.time - last_clock_;
     if (verbose_) {
       std::printf("#   %-7s epoch %2d: %7.3fs  +%s stolen\n",
@@ -41,7 +52,16 @@ class EpochWatcher : public EpochObserver {
   }
 
  private:
+  static int64_t StolenCounter(const Session& session) {
+    const obs::MetricsRegistry* metrics = session.metrics();
+    if (metrics == nullptr) return 0;
+    const obs::MetricsSnapshot snap = metrics->Snapshot();
+    return snap.CounterValue("sched.steals_by_gpu") +
+           snap.CounterValue("sched.steals_by_cpu");
+  }
+
   bool verbose_;
+  bool baselined_ = false;
   SimTime last_clock_ = 0.0;
   int64_t last_stolen_ = 0;
 };
@@ -55,6 +75,12 @@ int main(int argc, char** argv) {
        {"verbose", "", "stream per-epoch timings and steal deltas"}});
   int runs = static_cast<int>(ctx.flags.GetInt("runs", 3));
   const bool verbose = ctx.flags.GetBool("verbose", false);
+
+  // The watcher reads steals through session.metrics(), so make sure a
+  // registry rides along even when no --metrics flag asked for one.
+  if (ctx.obs.registry == nullptr) {
+    ctx.obs.registry = std::make_shared<obs::MetricsRegistry>();
+  }
 
   PrintHeader(StrFormat(
       "Table III: dynamic scheduling (%d iterations, mean of %d runs "
@@ -77,11 +103,11 @@ int main(int argc, char** argv) {
         cfg.use_dataset_target = false;
         cfg.seed = ctx.seed + static_cast<uint64_t>(run);
         EpochWatcher watcher(verbose);
-        TrainResult result = RunSession(ds, cfg, &watcher);
-        times[i++] += result.stats.sim_seconds / runs;
+        TrainResult result = RunSession(ctx, ds, cfg, &watcher);
+        times[i++] += result.stats.sim.seconds / runs;
         if (dynamic) {
-          stolen += (result.stats.stolen_by_gpus +
-                     result.stats.stolen_by_cpus) /
+          stolen += (result.stats.sim.stolen_by_gpus +
+                     result.stats.sim.stolen_by_cpus) /
                     runs;
         }
       }
@@ -91,5 +117,6 @@ int main(int argc, char** argv) {
                 times[0], times[1], times[0] / times[1],
                 WithThousandsSep(stolen).c_str());
   }
+  WriteObsArtifacts(ctx);
   return 0;
 }

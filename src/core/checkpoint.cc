@@ -87,6 +87,8 @@ class Writer {
   void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
   void F64(double v) { Bytes(&v, sizeof(v)); }
 
+  int64_t written() const { return written_; }
+
  private:
   FILE* f_;
   bool ok_ = true;
@@ -291,7 +293,9 @@ void SetCheckpointWriteFailpoint(int64_t bytes) {
 }
 
 Status WriteCheckpoint(const std::string& path,
-                       const SessionCheckpoint& ckpt) {
+                       const SessionCheckpoint& ckpt,
+                       int64_t* bytes_written) {
+  if (bytes_written != nullptr) *bytes_written = 0;
   const std::string tmp = path + ".tmp";
   FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
@@ -353,6 +357,7 @@ Status WriteCheckpoint(const std::string& path,
     return Status::Internal(StrFormat("cannot rename '%s' to '%s'",
                                       tmp.c_str(), path.c_str()));
   }
+  if (bytes_written != nullptr) *bytes_written = w.written();
   return Status::Ok();
 }
 

@@ -106,9 +106,12 @@ struct SessionCheckpoint {
 
 /// Write `checkpoint` to `path` atomically (temp file + rename): readers
 /// never observe a torn file, and a crash mid-write leaves any previous
-/// checkpoint at `path` intact.
+/// checkpoint at `path` intact. On success `bytes_written` (when
+/// non-null) receives the file's size — observability accounting for
+/// the session's ckpt.bytes counter; 0 on failure.
 Status WriteCheckpoint(const std::string& path,
-                       const SessionCheckpoint& checkpoint);
+                       const SessionCheckpoint& checkpoint,
+                       int64_t* bytes_written = nullptr);
 
 /// Read and validate (magic, version, structural sizes). Fails with
 /// NotFound for a missing file and InvalidArgument for a corrupt or

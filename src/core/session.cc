@@ -10,6 +10,8 @@
 #include "core/checkpoint.h"
 #include "core/kernels/calibrator.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/star_scheduler.h"
 #include "sched/uniform_scheduler.h"
 #include "util/logging.h"
@@ -366,6 +368,95 @@ Status Session::SetFaultPlan(const FaultPlan& plan) {
   return Status::Ok();
 }
 
+void Session::SetObservability(const Observability& obs) {
+  obs_ = obs;
+  metric_ = MetricsHandles{};
+  // Devices carry their own tracer hook so their internal pipeline
+  // timings land on the right lane without round-tripping the session.
+  for (const Worker& w : workers_) {
+    if (w.gpu != nullptr) {
+      w.gpu->SetTrace(obs_.trace, TraceTidForWorker(w.info.worker_index));
+    }
+  }
+  if (obs_.trace != nullptr) {
+    obs_.trace->SetThreadName(
+        0, StrFormat("session (%s)", scheduler_->name()));
+    for (const Worker& w : workers_) {
+      obs_.trace->SetThreadName(
+          TraceTidForWorker(w.info.worker_index),
+          StrFormat("%s%d",
+                    w.info.device_class == DeviceClass::kGpu ? "gpu" : "cpu",
+                    w.info.device_index));
+    }
+    obs_.trace->SetThreadName(TraceTidCheckpoint(), "checkpoint");
+    obs_.trace->SetThreadName(TraceTidFault(), "fault");
+  }
+  if (obs_.metrics != nullptr) {
+    obs::MetricsRegistry* r = obs_.metrics;
+    metric_.epochs = r->counter("session.epochs");
+    metric_.blocks = r->counter("session.blocks");
+    metric_.nnz = r->counter("session.nnz");
+    metric_.steals_by_gpu = r->counter("sched.steals_by_gpu");
+    metric_.steals_by_cpu = r->counter("sched.steals_by_cpu");
+    metric_.devices_lost = r->counter("fault.devices_lost");
+    metric_.leases_revoked = r->counter("fault.leases_revoked");
+    metric_.blocks_requeued = r->counter("fault.blocks_requeued");
+    metric_.blocks_lost = r->counter("fault.blocks_lost");
+    metric_.transfer_faults = r->counter("fault.transfer_faults");
+    metric_.ckpt_writes = r->counter("ckpt.writes");
+    metric_.ckpt_bytes = r->counter("ckpt.bytes");
+    metric_.ckpt_failures = r->counter("ckpt.failures");
+    metric_.ckpt_retries = r->counter("ckpt.retries");
+    metric_.autosave_failures = r->counter("ckpt.autosave_failures");
+    metric_.sim_clock = r->gauge("session.sim_clock");
+    metric_.epoch = r->gauge("session.epoch");
+    metric_.test_rmse = r->gauge("session.test_rmse");
+    metric_.train_rmse = r->gauge("session.train_rmse");
+    metric_.workers_alive = r->gauge("session.workers_alive");
+    metric_.block_seconds = r->histogram(
+        "session.block_sim_seconds", obs::ExponentialBounds(1e-6, 2.0, 24));
+    metric_.epoch_seconds = r->histogram(
+        "session.epoch_sim_seconds", obs::ExponentialBounds(1e-3, 2.0, 20));
+    metric_.worker_busy.resize(workers_.size(), nullptr);
+    for (const Worker& w : workers_) {
+      metric_.worker_busy[static_cast<size_t>(w.info.worker_index)] =
+          r->gauge(StrFormat(
+              "device.%s%d.busy_sim_seconds",
+              w.info.device_class == DeviceClass::kGpu ? "gpu" : "cpu",
+              w.info.device_index));
+    }
+  }
+  // Steal tallies accumulate across the session (and across restores);
+  // the registry sees only the deltas from the attach point forward.
+  steals_gpu_exported_ = scheduler_->stolen_by_gpus();
+  steals_cpu_exported_ = scheduler_->stolen_by_cpus();
+}
+
+void Session::ExportBarrierMetrics(const TracePoint& point) {
+  if (obs_.metrics == nullptr) return;
+  obs::Increment(metric_.epochs);
+  obs::Set(metric_.sim_clock, clock_);
+  obs::Set(metric_.epoch, point.epoch);
+  obs::Set(metric_.test_rmse, point.test_rmse);
+  obs::Set(metric_.train_rmse, point.train_rmse);
+  obs::Set(metric_.workers_alive, workers_alive_);
+  const int64_t sg = scheduler_->stolen_by_gpus();
+  const int64_t sc = scheduler_->stolen_by_cpus();
+  obs::Add(metric_.steals_by_gpu, sg - steals_gpu_exported_);
+  obs::Add(metric_.steals_by_cpu, sc - steals_cpu_exported_);
+  steals_gpu_exported_ = sg;
+  steals_cpu_exported_ = sc;
+  for (const Worker& w : workers_) {
+    obs::Gauge* busy =
+        metric_.worker_busy[static_cast<size_t>(w.info.worker_index)];
+    if (w.gpu != nullptr) {
+      obs::Set(busy, w.gpu->busy_seconds());
+    } else if (w.cpu != nullptr) {
+      obs::Set(busy, w.cpu->busy_seconds());
+    }
+  }
+}
+
 void Session::AddObserver(EpochObserver* observer) {
   HSGD_CHECK(observer != nullptr);
   observers_.push_back(observer);
@@ -453,6 +544,16 @@ StatusOr<TracePoint> Session::RunEpoch() {
       --workers_alive_;
       ++fault_stats_.devices_lost;
       fault_stats_.degraded = true;
+      obs::Increment(metric_.devices_lost);
+      if (obs_.trace != nullptr) {
+        obs_.trace->Instant(
+            "fault", "device_lost", TraceTidFault(), now,
+            {obs::TraceArg::Str(
+                 "device",
+                 StrFormat("%s%d", cls == DeviceClass::kGpu ? "gpu" : "cpu",
+                           index)),
+             obs::TraceArg::Int("workers_alive", workers_alive_)});
+      }
       if (worker.gpu != nullptr) worker.gpu->set_health(MakeDead());
       if (worker.cpu != nullptr) worker.cpu->set_health(MakeDead());
       scheduler_->MarkWorkerDead(worker.info);
@@ -468,10 +569,18 @@ StatusOr<TracePoint> Session::RunEpoch() {
         const BlockTask task = held[lease].first;
         held.erase(lease);
         ++fault_stats_.leases_revoked;
+        obs::Increment(metric_.leases_revoked);
         if (scheduler_->RevokeLease(task)) {
           ++fault_stats_.blocks_requeued;
+          obs::Increment(metric_.blocks_requeued);
         } else {
           ++fault_stats_.blocks_lost;
+          obs::Increment(metric_.blocks_lost);
+        }
+        if (obs_.trace != nullptr) {
+          obs_.trace->Instant("fault", "lease_revoked", TraceTidFault(),
+                              now,
+                              {obs::TraceArg::Int("block", task.block)});
         }
       }
       HSGD_LOG(Warning) << (cls == DeviceClass::kGpu ? "gpu" : "cpu")
@@ -515,6 +624,20 @@ StatusOr<TracePoint> Session::RunEpoch() {
             HSGD_LOG(Warning)
                 << "straggler fault: " << spec->ToString() << " at t="
                 << now;
+            if (obs_.trace != nullptr) {
+              // A bounded degradation window renders as a span over its
+              // duration; an open-ended one as an instant marker.
+              const int tid = TraceTidForWorker(workers_[w].info.worker_index);
+              std::vector<obs::TraceArg> args = {
+                  obs::TraceArg::Double("slowdown", spec->slowdown)};
+              if (spec->duration < kSimTimeNever) {
+                obs_.trace->Span("fault", "straggler", tid, now,
+                                 now + spec->duration, std::move(args));
+              } else {
+                obs_.trace->Instant("fault", "straggler", tid, now,
+                                    std::move(args));
+              }
+            }
           }
           break;
         }
@@ -523,11 +646,18 @@ StatusOr<TracePoint> Session::RunEpoch() {
               static_cast<int>(gpu_devices_.size())) {
             fault_stats_.degraded = true;
             fault_stats_.transfer_faults += spec->count;
+            obs::Add(metric_.transfer_faults, spec->count);
             gpu_devices_[spec->device_index]
                 ->mutable_link()
                 .InjectTransferFaults(spec->count, kFaultDetectLatency);
             HSGD_LOG(Warning) << "link fault: " << spec->ToString()
                               << " at t=" << now;
+            if (obs_.trace != nullptr) {
+              obs_.trace->Instant(
+                  "fault", "link_fault", TraceTidFault(), now,
+                  {obs::TraceArg::Int("gpu", spec->device_index),
+                   obs::TraceArg::Int("count", spec->count)});
+            }
           }
           break;
         case FaultKind::kCheckpointFault:
@@ -648,7 +778,7 @@ StatusOr<TracePoint> Session::RunEpoch() {
       excess = (t.d2h_done - t.h2d_start) - t.healthy_span;
       gpu_nnz_ += task->nnz;
     } else {
-      proc = workers_[w].cpu->UpdateTimeAt(now, task->nnz);
+      proc = workers_[w].cpu->ChargeAt(now, task->nnz);
       excess = proc - workers_[w].cpu->UpdateTime(task->nnz);
       // A CPU thread stealing from a GPU-resident stripe must first
       // pull the current column factors off the device — one D2H per
@@ -677,6 +807,20 @@ StatusOr<TracePoint> Session::RunEpoch() {
       }
       finish = now + proc;
       next_free = finish;
+      if (obs_.trace != nullptr) {
+        obs_.trace->Span("device", "cpu_block",
+                         TraceTidForWorker(workers_[w].info.worker_index),
+                         now, finish,
+                         {obs::TraceArg::Int("block", task->block),
+                          obs::TraceArg::Int("nnz", task->nnz)});
+      }
+    }
+    if (task->stolen && obs_.trace != nullptr) {
+      obs_.trace->Instant("sched", "steal",
+                          TraceTidForWorker(workers_[w].info.worker_index),
+                          now,
+                          {obs::TraceArg::Int("block", task->block),
+                           obs::TraceArg::Int("col", task->col)});
     }
     const double duration = std::max(proc, 1e-12);
     ++duration_count_;
@@ -684,6 +828,9 @@ StatusOr<TracePoint> Session::RunEpoch() {
     duration_sumsq_ += duration * duration;
     ++total_tasks_;
     total_nnz_processed_ += task->nnz;
+    obs::Increment(metric_.blocks);
+    obs::Add(metric_.nnz, task->nnz);
+    obs::Observe(metric_.block_seconds, duration);
 
     held[task->lease] = {*task, w};
 
@@ -756,10 +903,19 @@ StatusOr<TracePoint> Session::RunEpoch() {
       if (!scheduler_->LeaseOutstanding(e.task.lease)) continue;
       held.erase(e.task.lease);
       ++fault_stats_.leases_revoked;
+      obs::Increment(metric_.leases_revoked);
       if (scheduler_->RevokeLease(e.task)) {
         ++fault_stats_.blocks_requeued;
+        obs::Increment(metric_.blocks_requeued);
       } else {
         ++fault_stats_.blocks_lost;
+        obs::Increment(metric_.blocks_lost);
+      }
+      if (obs_.trace != nullptr) {
+        obs_.trace->Instant("fault", "lease_expired", TraceTidFault(),
+                            e.time,
+                            {obs::TraceArg::Int("block", e.task.block),
+                             obs::TraceArg::Int("worker", e.worker)});
       }
       HSGD_LOG(Warning) << "lease on block " << e.task.block
                         << " expired at t=" << e.time
@@ -809,6 +965,12 @@ StatusOr<TracePoint> Session::RunEpoch() {
     }
   }
   clock_ = epoch_end;  // epoch barrier: evaluate, then start together
+  if (obs_.trace != nullptr) {
+    obs_.trace->Span("session", StrFormat("epoch %d", epoch), 0,
+                     epoch_start, epoch_end,
+                     {obs::TraceArg::Int("epoch", epoch)});
+  }
+  obs::Observe(metric_.epoch_seconds, epoch_end - epoch_start);
 
   double train_rmse =
       Rmse(*model_, dataset_.train, eval_pool_.get(), kernel_ops_);
@@ -837,28 +999,45 @@ StatusOr<TracePoint> Session::RunEpoch() {
       if (injector_ != nullptr &&
           injector_->ConsumeCheckpointFault(epoch)) {
         ++fault_stats_.checkpoint_failures;
+        obs::Increment(metric_.ckpt_failures);
         return Status::Internal("injected checkpoint IO fault");
       }
       Status status = SaveCheckpoint(config_.fault.autosave_path);
-      if (!status.ok()) ++fault_stats_.checkpoint_failures;
+      if (!status.ok()) {
+        ++fault_stats_.checkpoint_failures;
+        obs::Increment(metric_.ckpt_failures);
+      }
       return status;
     };
     const Status saved = RetryWithBackoff(
         config_.fault.checkpoint_retry, &retry_rng_, attempt,
         [&](int attempt_no, const Status& status) {
           ++fault_stats_.checkpoint_retries;
+          obs::Increment(metric_.ckpt_retries);
           HSGD_LOG(Warning)
               << "autosave attempt " << attempt_no << " failed ("
               << status.ToString() << "); backing off";
         });
     if (!saved.ok()) {
       ++fault_stats_.autosave_failures;
+      obs::Increment(metric_.autosave_failures);
       HSGD_LOG(Warning) << "autosave to '" << config_.fault.autosave_path
                         << "' failed after retries: " << saved.ToString();
+    }
+    if (obs_.trace != nullptr) {
+      // Autosaves happen at the barrier, so the span has zero virtual
+      // width — its wall_ms arg carries the real cost.
+      obs_.trace->Span("ckpt", "autosave", TraceTidCheckpoint(), clock_,
+                       clock_,
+                       {obs::TraceArg::Int("epoch", epoch),
+                        obs::TraceArg::Bool("ok", saved.ok())});
     }
   }
 
   wall_seconds_ += wall.Seconds();
+  // Metrics are current before observers fire, so an OnEpochEnd callback
+  // reading session.metrics() sees this epoch, not the previous one.
+  ExportBarrierMetrics(point);
   NotifyEpochEnd(point);
   if (reached_now) NotifyTargetReached(point);
   return point;
@@ -874,21 +1053,21 @@ Status Session::RunToCompletion() {
 
 TrainStats Session::stats() const {
   TrainStats stats;
-  stats.reached_target = reached_target_;
-  stats.sim_seconds = clock_;
-  stats.stolen_by_gpus = scheduler_->stolen_by_gpus();
-  stats.stolen_by_cpus = scheduler_->stolen_by_cpus();
-  stats.block_tasks = total_tasks_;
+  stats.sim.reached_target = reached_target_;
+  stats.sim.seconds = clock_;
+  stats.sim.stolen_by_gpus = scheduler_->stolen_by_gpus();
+  stats.sim.stolen_by_cpus = scheduler_->stolen_by_cpus();
+  stats.sim.block_tasks = total_tasks_;
   switch (config_.algorithm) {
-    case Algorithm::kCpuOnly: stats.alpha = 0.0; break;
-    case Algorithm::kGpuOnly: stats.alpha = 1.0; break;
+    case Algorithm::kCpuOnly: stats.sim.alpha = 0.0; break;
+    case Algorithm::kGpuOnly: stats.sim.alpha = 1.0; break;
     case Algorithm::kHsgd:
-      stats.alpha =
+      stats.sim.alpha =
           total_nnz_processed_ > 0
               ? static_cast<double>(gpu_nnz_) / total_nnz_processed_
               : 0.0;
       break;
-    case Algorithm::kHsgdStar: stats.alpha = planned_alpha_; break;
+    case Algorithm::kHsgdStar: stats.sim.alpha = planned_alpha_; break;
   }
   if (duration_count_ > 1) {
     const double mean =
@@ -897,9 +1076,9 @@ TrainStats Session::stats() const {
         0.0,
         duration_sumsq_ / static_cast<double>(duration_count_) -
             mean * mean);
-    stats.update_rate_cv = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+    stats.sim.update_rate_cv = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
   }
-  stats.wall_seconds = wall_seconds_;
+  stats.wall.seconds = wall_seconds_;
   return stats;
 }
 
@@ -931,7 +1110,23 @@ Status Session::SaveCheckpoint(const std::string& path) const {
   // SIMD padding, so files round-trip across kernel builds.
   ckpt.p = model_->DenseP();
   ckpt.q = model_->DenseQ();
-  return WriteCheckpoint(path, ckpt);
+  int64_t bytes = 0;
+  Status status = WriteCheckpoint(path, ckpt, &bytes);
+  if (status.ok()) {
+    // Counter bumps through the (possibly null) handles; mutating the
+    // external registry keeps this method observably const.
+    obs::Increment(metric_.ckpt_writes);
+    obs::Add(metric_.ckpt_bytes, bytes);
+    if (obs_.trace != nullptr) {
+      // Zero-width on the virtual clock (checkpoint IO is wall time, not
+      // simulated time); the wall_ms arg carries the real timing.
+      obs_.trace->Span("ckpt", "checkpoint", TraceTidCheckpoint(), clock_,
+                       clock_,
+                       {obs::TraceArg::Int("epoch", epochs_run_),
+                        obs::TraceArg::Int("bytes", bytes)});
+    }
+  }
+  return status;
 }
 
 StatusOr<std::unique_ptr<Session>> Session::Restore(const std::string& path,

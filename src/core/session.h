@@ -45,6 +45,24 @@ namespace hsgd {
 
 class FaultInjector;  // fault/fault_injector.h
 
+namespace obs {
+class MetricsRegistry;  // obs/metrics.h
+class Tracer;           // obs/trace.h
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+
+/// Borrowed observability sinks, attached at runtime via
+/// Session::SetObservability. Like observers and fault plans they are
+/// runtime state — never checkpointed, re-attach after Restore — and
+/// strictly passive: attaching them (or not) leaves the simulation
+/// bit-identical; they only record what happened.
+struct Observability {
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* trace = nullptr;
+};
+
 enum class Algorithm {
   kCpuOnly = 0,
   kGpuOnly = 1,
@@ -161,9 +179,13 @@ struct Trace {
   SimTime TimeToReach(double rmse) const;
 };
 
-struct TrainStats {
+/// Virtual-clock statistics: every field here is reproducible — same
+/// seed + same config yields the same values, whether the epochs ran in
+/// one process or across a checkpoint/restore boundary. Regression
+/// tests and acceptance checks may compare these exactly.
+struct SimStats {
   bool reached_target = false;
-  SimTime sim_seconds = 0.0;
+  SimTime seconds = 0.0;
   /// GPU share of the work: the cost model's split for HSGD*, the
   /// measured share otherwise.
   double alpha = 0.0;
@@ -174,10 +196,22 @@ struct TrainStats {
   /// heterogeneous devices, low under HSGD*'s equal-time blocks).
   double update_rate_cv = 0.0;
   int64_t block_tasks = 0;
-  /// Real time spent inside Create/RunEpoch so far, for curiosity. The
-  /// only stats field that is *not* reproducible across runs or across a
-  /// checkpoint/restore boundary.
-  double wall_seconds = 0.0;
+};
+
+/// Wall-clock statistics: real time this process spent inside
+/// Create/RunEpoch. Never reproducible — not across runs, machines, or
+/// a checkpoint/restore boundary — so nothing that must be
+/// deterministic may read from here.
+struct WallStats {
+  double seconds = 0.0;
+};
+
+/// The two stat families, kept in separate sub-structs so a glance at a
+/// call site (`stats.sim.seconds` vs `stats.wall.seconds`) shows whether
+/// it is on the reproducible side of the fence.
+struct TrainStats {
+  SimStats sim;
+  WallStats wall;
 };
 
 struct TrainResult {
@@ -290,6 +324,17 @@ class Session {
   /// degraded == false, for a fault-free run).
   const FaultStats& fault_stats() const { return fault_stats_; }
 
+  /// Attach metrics/trace sinks (either pointer may be null). Replaces
+  /// any previous attachment; pass {} to detach. Sinks are borrowed —
+  /// callers keep them alive while attached — and passive: a session
+  /// with sinks attached produces bit-identical training results to one
+  /// without. Not checkpointed; re-attach after Restore.
+  void SetObservability(const Observability& obs);
+
+  /// The attached metrics registry, or nullptr when none is attached.
+  /// Read-only from the caller's perspective: snapshot it, don't feed it.
+  const obs::MetricsRegistry* metrics() const { return obs_.metrics; }
+
   /// True when a device loss under DegradePolicy::kAbort (or the loss
   /// of every worker) permanently failed the run. Done() reports true
   /// and RunEpoch refuses with FailedPrecondition.
@@ -326,6 +371,51 @@ class Session {
   void NotifyEpochBegin(int epoch);
   void NotifyEpochEnd(const TracePoint& point);
   void NotifyTargetReached(const TracePoint& point);
+
+  /// Pre-resolved registry handles, filled in SetObservability so the
+  /// event loop pays one null check per record — no name lookups on the
+  /// hot path. All null while no registry is attached (the obs::Add /
+  /// obs::Set / obs::Observe helpers are null-safe no-ops).
+  struct MetricsHandles {
+    obs::Counter* epochs = nullptr;
+    obs::Counter* blocks = nullptr;
+    obs::Counter* nnz = nullptr;
+    obs::Counter* steals_by_gpu = nullptr;
+    obs::Counter* steals_by_cpu = nullptr;
+    obs::Counter* devices_lost = nullptr;
+    obs::Counter* leases_revoked = nullptr;
+    obs::Counter* blocks_requeued = nullptr;
+    obs::Counter* blocks_lost = nullptr;
+    obs::Counter* transfer_faults = nullptr;
+    obs::Counter* ckpt_writes = nullptr;
+    obs::Counter* ckpt_bytes = nullptr;
+    obs::Counter* ckpt_failures = nullptr;
+    obs::Counter* ckpt_retries = nullptr;
+    obs::Counter* autosave_failures = nullptr;
+    obs::Gauge* sim_clock = nullptr;
+    obs::Gauge* epoch = nullptr;
+    obs::Gauge* test_rmse = nullptr;
+    obs::Gauge* train_rmse = nullptr;
+    obs::Gauge* workers_alive = nullptr;
+    obs::Histogram* block_seconds = nullptr;
+    obs::Histogram* epoch_seconds = nullptr;
+    /// Lifetime busy-sim-seconds gauge per worker (index = worker id).
+    std::vector<obs::Gauge*> worker_busy;
+  };
+
+  /// Trace lane (tid) assignment: 0 = session row, worker w = w+1, then
+  /// one lane each for checkpoint and fault events.
+  int TraceTidForWorker(int w) const { return w + 1; }
+  int TraceTidCheckpoint() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+  int TraceTidFault() const {
+    return static_cast<int>(workers_.size()) + 2;
+  }
+
+  /// Push the barrier-time gauge values (clock, RMSE, per-worker busy
+  /// time, steal deltas) into the registry; no-op when detached.
+  void ExportBarrierMetrics(const TracePoint& point);
 
   Dataset dataset_;
   TrainConfig config_;
@@ -374,6 +464,15 @@ class Session {
   Rng retry_rng_{0, 23};
 
   std::vector<EpochObserver*> observers_;
+
+  // ---- Observability (runtime state, never checkpointed) --------------
+  Observability obs_;
+  MetricsHandles metric_;
+  /// Scheduler steal totals already exported to the registry, so each
+  /// barrier adds only the delta (totals survive checkpoints; exports
+  /// restart at the attach point).
+  int64_t steals_gpu_exported_ = 0;
+  int64_t steals_cpu_exported_ = 0;
 };
 
 }  // namespace hsgd

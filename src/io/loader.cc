@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/chunking.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -556,6 +557,13 @@ StatusOr<LoadedData> LoadRatings(const std::string& path, DataFormat format,
       continue;
     }
     data.ratings.push_back(r);
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->counter("io.files_parsed")
+        ->Add(static_cast<int64_t>(origins.size()));
+    options.metrics->counter("io.ratings_loaded")
+        ->Add(static_cast<int64_t>(data.ratings.size()));
+    options.metrics->counter("io.bad_lines")->Add(data.bad_lines.total);
   }
   return data;
 }

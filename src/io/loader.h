@@ -35,6 +35,10 @@
 #include "core/types.h"
 #include "util/status.h"
 
+namespace hsgd::obs {
+class MetricsRegistry;  // obs/metrics.h
+}  // namespace hsgd::obs
+
 namespace hsgd::io {
 
 enum class DataFormat {
@@ -84,6 +88,12 @@ struct LoadOptions {
   /// first line past it. Counting is deterministic (file order) for any
   /// thread count.
   int64_t max_bad_lines = 0;
+
+  /// Optional borrowed metrics sink: a successful load adds its totals
+  /// to the io.* counters (files_parsed, ratings_loaded, bad_lines).
+  /// Null — the default — records nothing; the parse itself is
+  /// unaffected either way.
+  obs::MetricsRegistry* metrics = nullptr;
 
   static constexpr double kFormatDefault =
       -1.7976931348623157e308;  // sentinel: use the format's range

@@ -1,0 +1,141 @@
+#include "obs/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace hsgd::obs {
+
+Json Json::Bool(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::Int(int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::Double(double v) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::Str(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json& Json::Set(const std::string& key, Json value) {
+  assert(kind_ == Kind::kObject && "Set() needs an object");
+  children_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::Push(Json value) {
+  assert(kind_ == Kind::kArray && "Push() needs an array");
+  children_.emplace_back(std::string(), std::move(value));
+  return *this;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  auto newline = [&](int d) {
+    if (!pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: *out += "null"; break;
+    case Kind::kBool: *out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      *out += buf;
+      break;
+    }
+    case Kind::kDouble: *out += JsonNumber(double_); break;
+    case Kind::kString:
+      out->push_back('"');
+      *out += JsonEscape(string_);
+      out->push_back('"');
+      break;
+    case Kind::kArray:
+    case Kind::kObject: {
+      const bool object = kind_ == Kind::kObject;
+      out->push_back(object ? '{' : '[');
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        if (object) {
+          out->push_back('"');
+          *out += JsonEscape(children_[i].first);
+          *out += pretty ? "\": " : "\":";
+        }
+        children_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!children_.empty()) newline(depth);
+      out->push_back(object ? '}' : ']');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+}  // namespace hsgd::obs

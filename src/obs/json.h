@@ -1,0 +1,68 @@
+// Minimal JSON value tree for the observability layer's machine-readable
+// artifacts (metrics dumps, Chrome trace events, RunReports). Build a
+// value with the static constructors, compose with Set/Push, and Dump it.
+// Object keys keep insertion order so artifacts diff cleanly run to run.
+//
+// This is a writer, not a parser: nothing in the engine consumes JSON —
+// the tests carry their own tiny parser to validate what we emit.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hsgd::obs {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool v);
+  static Json Int(int64_t v);
+  static Json Double(double v);
+  static Json Str(std::string v);
+  static Json Array();
+  static Json Object();
+
+  Kind kind() const { return kind_; }
+
+  /// Object member (the value is moved in). Returns *this for chaining.
+  /// Aborts (assert) when called on a non-object.
+  Json& Set(const std::string& key, Json value);
+  /// Array element. Aborts (assert) when called on a non-array.
+  Json& Push(Json value);
+
+  size_t size() const { return children_.size(); }
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits the compact one-line form. Non-finite doubles are
+  /// emitted as null (JSON has no NaN/Inf).
+  std::string Dump(int indent = 2) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  /// Array elements (keys empty) or object members, in insertion order.
+  std::vector<std::pair<std::string, Json>> children_;
+};
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes not
+/// included). Exposed for the streaming trace writer, which is too hot
+/// for value trees.
+std::string JsonEscape(const std::string& s);
+
+/// Render a double the way Dump does ("%.17g", null for non-finite).
+std::string JsonNumber(double v);
+
+}  // namespace hsgd::obs

@@ -1,0 +1,255 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace hsgd::obs {
+
+namespace internal {
+
+int ThreadShard() {
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace internal
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  HSGD_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    HSGD_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+  cells_.reserve(internal::kShards);
+  for (int s = 0; s < internal::kShards; ++s) {
+    cells_.push_back(std::make_unique<Cell>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::Observe(double v) {
+  Cell& cell = *cells_[internal::ThreadShard()];
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  cell.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop in lieu of C++20 atomic<double>::fetch_add.
+  uint64_t prev = cell.sum_bits.load(std::memory_order_relaxed);
+  double sum;
+  uint64_t want;
+  do {
+    std::memcpy(&sum, &prev, sizeof(sum));
+    sum += v;
+    std::memcpy(&want, &sum, sizeof(want));
+  } while (!cell.sum_bits.compare_exchange_weak(
+      prev, want, std::memory_order_relaxed));
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (b == buckets.size() - 1) {
+      // Overflow bucket: no upper edge to interpolate toward; clamp to
+      // its lower edge (the last finite bound).
+      return bounds.back();
+    }
+    const double hi = bounds[b];
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const int64_t in_bucket = buckets[b];
+    if (in_bucket == 0) return hi;
+    const double before = static_cast<double>(cumulative - in_bucket);
+    const double frac = (target - before) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return bounds.back();
+}
+
+int64_t MetricsSnapshot::CounterValue(const std::string& name,
+                                      int64_t missing) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return missing;
+}
+
+double MetricsSnapshot::GaugeValue(const std::string& name,
+                                   double missing) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return missing;
+}
+
+Json MetricsSnapshot::ToJson() const {
+  Json root = Json::Object();
+  root.Set("schema", Json::Str("hsgd.metrics/v1"));
+  Json cs = Json::Object();
+  for (const auto& [name, value] : counters) cs.Set(name, Json::Int(value));
+  root.Set("counters", std::move(cs));
+  Json gs = Json::Object();
+  for (const auto& [name, value] : gauges) {
+    gs.Set(name, Json::Double(value));
+  }
+  root.Set("gauges", std::move(gs));
+  Json hs = Json::Object();
+  for (const auto& [name, h] : histograms) {
+    Json entry = Json::Object();
+    Json bounds = Json::Array();
+    for (double b : h.bounds) bounds.Push(Json::Double(b));
+    Json buckets = Json::Array();
+    for (int64_t c : h.buckets) buckets.Push(Json::Int(c));
+    entry.Set("bounds", std::move(bounds));
+    entry.Set("buckets", std::move(buckets));
+    entry.Set("count", Json::Int(h.count));
+    entry.Set("sum", Json::Double(h.sum));
+    entry.Set("p50", Json::Double(h.Percentile(0.50)));
+    entry.Set("p99", Json::Double(h.Percentile(0.99)));
+    hs.Set(name, std::move(entry));
+  }
+  root.Set("histograms", std::move(hs));
+  return root;
+}
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string n = PromName(name);
+    out += "# TYPE " + n + " counter\n";
+    out += StrFormat("%s %lld\n", n.c_str(), static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string n = PromName(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + JsonNumber(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string n = PromName(name);
+    out += "# TYPE " + n + " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      const std::string le =
+          b < h.bounds.size() ? JsonNumber(h.bounds[b]) : "+Inf";
+      out += StrFormat("%s_bucket{le=\"%s\"} %lld\n", n.c_str(),
+                       le.c_str(), static_cast<long long>(cumulative));
+    }
+    out += n + "_sum " + JsonNumber(h.sum) + "\n";
+    out += StrFormat("%s_count %lld\n", n.c_str(),
+                     static_cast<long long>(h.count));
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HSGD_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered as another kind";
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HSGD_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered as another kind";
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HSGD_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0)
+      << "metric '" << name << "' already registered as another kind";
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else {
+    HSGD_CHECK(slot->bounds() == bounds)
+        << "histogram '" << name << "' re-registered with other bounds";
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds_;
+    hs.buckets.assign(h->bounds_.size() + 1, 0);
+    double sum = 0.0;
+    for (const auto& cell : h->cells_) {
+      for (size_t b = 0; b < hs.buckets.size(); ++b) {
+        hs.buckets[b] += cell->counts[b].load(std::memory_order_relaxed);
+      }
+      hs.count += cell->count.load(std::memory_order_relaxed);
+      const uint64_t bits = cell->sum_bits.load(std::memory_order_relaxed);
+      double cell_sum;
+      std::memcpy(&cell_sum, &bits, sizeof(cell_sum));
+      sum += cell_sum;
+    }
+    hs.sum = sum;
+    snap.histograms.emplace_back(name, std::move(hs));
+  }
+  return snap;
+}
+
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      int count) {
+  HSGD_CHECK(start > 0.0 && factor > 1.0 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+}  // namespace hsgd::obs

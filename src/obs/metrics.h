@@ -1,0 +1,166 @@
+// Thread-safe metrics registry: named counters, gauges and fixed-bucket
+// histograms, exported as JSON or a Prometheus-style text dump.
+//
+// Write-side design: counters and histograms write to per-thread sharded
+// cache-line-sized cells (a thread picks its cell once, round-robin, and
+// keeps it for life), so concurrent increments from the eval pool or a
+// future serving layer never contend on one line. Reads aggregate the
+// cells on Snapshot — slightly stale under concurrent writers, but every
+// increment is an atomic add, so nothing is ever lost: quiesce, then
+// Snapshot, and the totals are exact.
+//
+// The registry hands out stable pointers: register once (cheap mutex +
+// map lookup), then bump through the pointer on the hot path with no
+// lookup at all. Instrumented code holds `Counter*` that may be null
+// (observability detached) — use the null-safe free helpers below, which
+// compile to a test-and-skip when disabled.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace hsgd::obs {
+
+namespace internal {
+/// This thread's shard slot, assigned round-robin on first use.
+int ThreadShard();
+inline constexpr int kShards = 16;
+}  // namespace internal
+
+/// Monotonic counter. Add is one relaxed atomic add on a thread-private
+/// cache line.
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    cells_[internal::ThreadShard()].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  /// Sum over all shards. Exact once writers quiesce.
+  int64_t Value() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<int64_t> v{0};
+  };
+  Cell cells_[internal::kShards];
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper edges of the
+/// first N buckets, plus an implicit +inf overflow bucket. Bucket counts
+/// are sharded like Counter cells; sum/count ride along for the mean.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<double> bounds_;
+  struct alignas(64) Cell {
+    explicit Cell(size_t buckets) : counts(buckets) {}
+    std::vector<std::atomic<int64_t>> counts;
+    std::atomic<int64_t> count{0};
+    /// Stored as bits of a double (atomic<double>::fetch_add is C++20).
+    std::atomic<uint64_t> sum_bits{0};
+  };
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  /// bounds.size() + 1 entries; the last is the +inf overflow bucket.
+  std::vector<int64_t> buckets;
+  int64_t count = 0;
+  double sum = 0.0;
+
+  double Mean() const { return count > 0 ? sum / count : 0.0; }
+  /// Quantile `q` in [0, 1], linearly interpolated inside the bucket the
+  /// q-th observation landed in (Prometheus histogram_quantile rules:
+  /// the overflow bucket clamps to its lower edge). 0 when empty.
+  double Percentile(double q) const;
+};
+
+/// Point-in-time aggregation of a registry, sorted by metric name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// Counter value by exact name; `missing` when absent.
+  int64_t CounterValue(const std::string& name, int64_t missing = 0) const;
+  double GaugeValue(const std::string& name, double missing = 0.0) const;
+
+  /// {"schema": "hsgd.metrics/v1", "counters": {...}, "gauges": {...},
+  ///  "histograms": {name: {bounds, buckets, count, sum, p50, p99}}}
+  Json ToJson() const;
+  /// Prometheus text exposition ("# TYPE" lines; histograms as
+  /// cumulative `_bucket{le=...}` series plus `_sum`/`_count`).
+  /// Metric names have [^a-zA-Z0-9_:] mapped to '_'.
+  std::string ToPrometheus() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create; the returned pointer is stable for the registry's
+  /// lifetime. Re-registering a name as a different metric kind aborts.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// `bounds` must be strictly increasing and non-empty; mismatched
+  /// bounds on re-registration abort.
+  Histogram* histogram(const std::string& name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Null-safe helpers: instrumented code keeps possibly-null metric
+// pointers and calls these unconditionally; detached observability costs
+// one predictable branch.
+inline void Add(Counter* c, int64_t delta) {
+  if (c != nullptr) c->Add(delta);
+}
+inline void Increment(Counter* c) { Add(c, 1); }
+inline void Set(Gauge* g, double v) {
+  if (g != nullptr) g->Set(v);
+}
+inline void Observe(Histogram* h, double v) {
+  if (h != nullptr) h->Observe(v);
+}
+
+/// Exponential bucket edges: `count` edges starting at `start`, each
+/// `factor` times the previous — the standard latency-histogram shape.
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      int count);
+
+}  // namespace hsgd::obs

@@ -1,0 +1,43 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace hsgd::obs {
+
+RunReport::RunReport(std::string bench) : bench_(std::move(bench)) {}
+
+void RunReport::AttachMetrics(const MetricsSnapshot& snapshot) {
+  metrics_ = snapshot.ToJson();
+  have_metrics_ = true;
+}
+
+Json RunReport::ToJson() const {
+  Json root = Json::Object();
+  root.Set("schema", Json::Str(kSchema));
+  root.Set("bench", Json::Str(bench_));
+  root.Set("config", config_);
+  root.Set("results", results_);
+  if (have_metrics_) root.Set("metrics", metrics_);
+  return root;
+}
+
+Status RunReport::WriteTo(const std::string& path) const {
+  const std::string out = ToJson().Dump(2) + "\n";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal(
+        StrFormat("cannot open report file '%s'", path.c_str()));
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != out.size() || !closed) {
+    return Status::Internal(
+        StrFormat("short write to report file '%s'", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace hsgd::obs

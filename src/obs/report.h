@@ -1,0 +1,57 @@
+// Structured run reports: the one JSON schema every bench emits, in
+// place of the per-binary ad-hoc fprintf JSON that grew alongside the
+// benches. One envelope:
+//
+//   {
+//     "schema":  "hsgd.run_report/v1",
+//     "bench":   "<binary's short name>",
+//     "config":  { flag/config key-values the run used },
+//     "results": [ bench-specific entries, one per dataset/scenario/run ],
+//     "metrics": { hsgd.metrics/v1 snapshot }          // when attached
+//   }
+//
+// "config" and "results" are open objects — each bench keeps its own
+// vocabulary there — but the envelope, the schema tag and the metrics
+// block are shared, so one jq expression can sanity-check any artifact
+// (`jq -e '.schema == "hsgd.run_report/v1"' BENCH_*.json`) and
+// trend-tracking tooling can ingest them uniformly.
+
+#pragma once
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace hsgd::obs {
+
+class RunReport {
+ public:
+  /// `bench` is the binary's short name ("fig12", "fault_recovery", ...).
+  explicit RunReport(std::string bench);
+
+  /// Open config object: record the knobs the run actually used.
+  Json& config() { return config_; }
+  /// Open results array: push one entry per dataset/scenario/sweep point.
+  Json& results() { return results_; }
+
+  /// Attach a metrics snapshot (rendered into the "metrics" block).
+  void AttachMetrics(const MetricsSnapshot& snapshot);
+
+  /// Assemble the envelope.
+  Json ToJson() const;
+  /// Dump the envelope to `path` (pretty-printed, trailing newline).
+  Status WriteTo(const std::string& path) const;
+
+  static constexpr const char* kSchema = "hsgd.run_report/v1";
+
+ private:
+  std::string bench_;
+  Json config_ = Json::Object();
+  Json results_ = Json::Array();
+  bool have_metrics_ = false;
+  Json metrics_ = Json::Null();
+};
+
+}  // namespace hsgd::obs

@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "util/strings.h"
+
+namespace hsgd::obs {
+
+TraceArg TraceArg::Int(std::string key, int64_t v) {
+  return {std::move(key),
+          StrFormat("%lld", static_cast<long long>(v))};
+}
+
+TraceArg TraceArg::Double(std::string key, double v) {
+  return {std::move(key), JsonNumber(v)};
+}
+
+TraceArg TraceArg::Str(std::string key, const std::string& v) {
+  return {std::move(key), "\"" + JsonEscape(v) + "\""};
+}
+
+TraceArg TraceArg::Bool(std::string key, bool v) {
+  return {std::move(key), v ? "true" : "false"};
+}
+
+void Tracer::Push(Event event) {
+  event.wall_ms = wall_.Millis();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Span(const char* category, std::string name, int tid,
+                  SimTime begin, SimTime end, std::vector<TraceArg> args) {
+  Event e;
+  e.category = category;
+  e.name = std::move(name);
+  e.phase = 'X';
+  e.tid = tid;
+  e.ts_us = begin * 1e6;
+  e.dur_us = (end - begin) * 1e6;
+  if (e.dur_us < 0.0) e.dur_us = 0.0;
+  e.args = std::move(args);
+  Push(std::move(e));
+}
+
+void Tracer::Instant(const char* category, std::string name, int tid,
+                     SimTime at, std::vector<TraceArg> args) {
+  Event e;
+  e.category = category;
+  e.name = std::move(name);
+  e.phase = 'i';
+  e.tid = tid;
+  e.ts_us = at * 1e6;
+  e.args = std::move(args);
+  Push(std::move(e));
+}
+
+void Tracer::SetThreadName(int tid, const std::string& name) {
+  Event e;
+  e.category = "__metadata";
+  e.name = "thread_name";
+  e.phase = 'M';
+  e.tid = tid;
+  e.args.push_back(TraceArg::Str("name", name));
+  Push(std::move(e));
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::AppendEvent(std::string* out, const Event& e) {
+  *out += "{\"name\":\"";
+  *out += JsonEscape(e.name);
+  *out += "\",\"cat\":\"";
+  *out += e.category;
+  *out += "\",\"ph\":\"";
+  out->push_back(e.phase);
+  *out += "\",\"pid\":1,\"tid\":";
+  *out += StrFormat("%d", e.tid);
+  if (e.phase != 'M') {
+    *out += ",\"ts\":" + JsonNumber(e.ts_us);
+    if (e.phase == 'X') *out += ",\"dur\":" + JsonNumber(e.dur_us);
+    if (e.phase == 'i') *out += ",\"s\":\"t\"";
+  }
+  *out += ",\"args\":{";
+  bool first = true;
+  if (e.phase != 'M') {
+    *out += "\"wall_ms\":" + JsonNumber(e.wall_ms);
+    first = false;
+  }
+  for (const TraceArg& arg : e.args) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->push_back('"');
+    *out += JsonEscape(arg.key);
+    *out += "\":";
+    *out += arg.json_value;
+  }
+  *out += "}}";
+}
+
+Status Tracer::WriteJson(const std::string& path) const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < events_.size(); ++i) {
+      if (i > 0) out += ",\n";
+      AppendEvent(&out, events_[i]);
+    }
+  }
+  out += "\n]}\n";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal(
+        StrFormat("cannot open trace file '%s'", path.c_str()));
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != out.size() || !closed) {
+    return Status::Internal(
+        StrFormat("short write to trace file '%s'", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace hsgd::obs

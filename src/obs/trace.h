@@ -1,0 +1,92 @@
+// Epoch timeline tracer: records spans and instants against the
+// simulator's virtual clock and writes Chrome trace-event JSON, loadable
+// in chrome://tracing and Perfetto (ui.perfetto.dev).
+//
+// Conventions:
+//   - ts/dur are the sim's virtual clock, in microseconds (the trace
+//     viewer's native unit) — one trace second == one simulated second.
+//   - every event carries a "wall_ms" arg: real milliseconds since the
+//     tracer was created, so virtual-time anomalies can be correlated
+//     with what the host was actually doing.
+//   - tid 0 is the session row; each simulated worker gets its own tid
+//     (named via SetThreadName metadata events), so per-device block
+//     execution renders as one lane per device.
+//   - categories name the emitting subsystem: "session", "device",
+//     "transfer", "sched", "ckpt", "fault", "io".
+//
+// The tracer is passive: it never touches the simulation, draws no RNG,
+// and is only consulted behind a null check — a session without one runs
+// the exact pre-observability instruction stream.
+//
+// Thread safety: Span/Instant/SetThreadName may be called from any
+// thread (one mutex push per event; tracing is opt-in and the event loop
+// is single-threaded, so this is nowhere near hot).
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace hsgd::obs {
+
+/// One pre-rendered event arg: value is already valid JSON (use
+/// TraceArg::Int/Double/Str).
+struct TraceArg {
+  std::string key;
+  std::string json_value;
+
+  static TraceArg Int(std::string key, int64_t v);
+  static TraceArg Double(std::string key, double v);
+  static TraceArg Str(std::string key, const std::string& v);
+  static TraceArg Bool(std::string key, bool v);
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Complete ('X') event spanning virtual [begin, end] on `tid`.
+  void Span(const char* category, std::string name, int tid, SimTime begin,
+            SimTime end, std::vector<TraceArg> args = {});
+  /// Instant ('i') event at virtual time `at`.
+  void Instant(const char* category, std::string name, int tid, SimTime at,
+               std::vector<TraceArg> args = {});
+  /// Thread-name metadata so viewers label the lane.
+  void SetThreadName(int tid, const std::string& name);
+
+  size_t event_count() const;
+
+  /// Serialize everything recorded so far as {"traceEvents": [...],
+  /// "displayTimeUnit": "ms"} to `path`.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  struct Event {
+    const char* category;
+    std::string name;
+    char phase;  // 'X' complete, 'i' instant, 'M' metadata
+    int tid = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    double wall_ms = 0.0;
+    std::vector<TraceArg> args;
+  };
+
+  void Push(Event event);
+  static void AppendEvent(std::string* out, const Event& e);
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  Stopwatch wall_;
+};
+
+}  // namespace hsgd::obs

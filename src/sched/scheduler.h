@@ -53,6 +53,9 @@ class Scheduler {
   /// Outstanding (unreleased) tasks must not span epochs.
   virtual void BeginEpoch();
 
+  /// Short policy name for reports and metrics ("star", "uniform").
+  virtual const char* name() const = 0;
+
   /// Hand `worker` a runnable block at simulated time `now`, or nullopt
   /// when nothing is available (epoch drained, or every candidate's
   /// stratum is momentarily locked — retry after the next Release).

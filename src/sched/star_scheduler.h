@@ -52,6 +52,8 @@ class StarScheduler : public Scheduler {
   StarScheduler(const BlockedMatrix* matrix, const Grid* grid,
                 StarSchedulerOptions options, Rng rng);
 
+  const char* name() const override { return "star"; }
+
   std::optional<BlockTask> Acquire(const WorkerInfo& worker,
                                    SimTime now) override;
 

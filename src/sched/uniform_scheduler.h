@@ -19,6 +19,8 @@ class UniformScheduler : public Scheduler {
   UniformScheduler(const BlockedMatrix* matrix, const Grid* grid,
                    UniformSchedulerOptions options, Rng rng);
 
+  const char* name() const override { return "uniform"; }
+
   std::optional<BlockTask> Acquire(const WorkerInfo& worker,
                                    SimTime now) override;
 

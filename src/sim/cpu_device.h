@@ -30,6 +30,19 @@ class CpuDevice {
     return UpdateTime(nnz) * health_.SlowdownAt(now);
   }
 
+  /// UpdateTimeAt that also accrues the thread's busy-time accounting —
+  /// what the event loop charges when the block actually runs (cost
+  /// probes keep using the const UpdateTimeAt). Same value, same
+  /// arithmetic; the accumulator is never read back by the simulation.
+  SimTime ChargeAt(SimTime now, int64_t nnz) {
+    const SimTime t = UpdateTimeAt(now, nnz);
+    busy_seconds_ += t;
+    return t;
+  }
+
+  /// Virtual seconds this thread has spent sweeping blocks (lifetime).
+  double busy_seconds() const { return busy_seconds_; }
+
   const DeviceHealth& health() const { return health_; }
   void set_health(const DeviceHealth& health) { health_ = health; }
 
@@ -37,6 +50,7 @@ class CpuDevice {
   CpuDeviceSpec spec_;
   double steady_rate_;  // k- and variability-adjusted flat rate
   DeviceHealth health_;
+  double busy_seconds_ = 0.0;
 };
 
 }  // namespace hsgd

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace hsgd {
 
 SimtKernelModel::SimtKernelModel(const GpuDeviceSpec& spec, int k)
@@ -75,6 +77,21 @@ PipelineTiming GpuDevice::Process(SimTime ready, const GpuWorkItem& item) {
     d2h_free_ = t.d2h_done;
   } else {
     h2d_free_ = kernel_free_ = d2h_free_ = t.d2h_done;
+  }
+  busy_seconds_ += exec;
+  h2d_bytes_ += bytes_in;
+  d2h_bytes_ += bytes_out;
+  if (tracer_ != nullptr) {
+    if (bytes_in > 0) {
+      tracer_->Span("transfer", "h2d", trace_tid_, t.h2d_start, t.h2d_done,
+                    {obs::TraceArg::Int("bytes", bytes_in)});
+    }
+    tracer_->Span("device", "kernel", trace_tid_, t.kernel_start,
+                  t.kernel_done, {obs::TraceArg::Int("nnz", item.nnz)});
+    if (bytes_out > 0) {
+      tracer_->Span("transfer", "d2h", trace_tid_, t.d2h_start, t.d2h_done,
+                    {obs::TraceArg::Int("bytes", bytes_out)});
+    }
   }
   return t;
 }

@@ -15,6 +15,10 @@
 
 namespace hsgd {
 
+namespace obs {
+class Tracer;  // obs/trace.h
+}  // namespace obs
+
 /// Kernel-only execution time: launch overhead + ceil(nnz/W) serial
 /// iterations per worker + factor traffic from device memory. Throughput
 /// nnz/ExecTime rises steeply while the W workers are underfilled and
@@ -94,6 +98,23 @@ class GpuDevice {
   const DeviceHealth& health() const { return health_; }
   void set_health(const DeviceHealth& health) { health_ = health; }
 
+  /// Attach the epoch-timeline tracer; `tid` is this device's lane in
+  /// the trace. Passive (emits h2d/kernel/d2h spans, reads nothing
+  /// back); detached — the default — leaves Process bit-identical.
+  void SetTrace(obs::Tracer* tracer, int tid) {
+    tracer_ = tracer;
+    trace_tid_ = tid;
+  }
+
+  /// Observability accounting, accumulated over the device's lifetime
+  /// (virtual seconds the kernel stream was busy; bytes that crossed the
+  /// link in each direction). Maintained unconditionally — plain adds on
+  /// values the simulation never reads back — and surfaced as gauges by
+  /// the session at each epoch barrier.
+  double busy_seconds() const { return busy_seconds_; }
+  int64_t h2d_bytes() const { return h2d_bytes_; }
+  int64_t d2h_bytes() const { return d2h_bytes_; }
+
   GpuStreamState stream_state() const {
     return {h2d_free_, kernel_free_, d2h_free_};
   }
@@ -117,6 +138,11 @@ class GpuDevice {
   SimTime h2d_free_ = 0.0;
   SimTime kernel_free_ = 0.0;
   SimTime d2h_free_ = 0.0;
+  obs::Tracer* tracer_ = nullptr;  // borrowed; never owned
+  int trace_tid_ = 0;
+  double busy_seconds_ = 0.0;
+  int64_t h2d_bytes_ = 0;
+  int64_t d2h_bytes_ = 0;
 };
 
 }  // namespace hsgd

@@ -31,7 +31,10 @@ SimTime PcieLink::ConsumeFaultPenalty(int64_t bytes, TransferDirection dir) {
   --pending_faults_;
   // The failed attempt runs (some of) the wire before the timeout flags
   // it; charge a full retry worth of wire time plus the detection lag.
-  return TransferTime(bytes, dir) + fault_detect_latency_;
+  const SimTime penalty = TransferTime(bytes, dir) + fault_detect_latency_;
+  ++faults_consumed_;
+  penalty_seconds_ += penalty;
+  return penalty;
 }
 
 }  // namespace hsgd

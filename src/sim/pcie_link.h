@@ -38,6 +38,11 @@ class PcieLink {
   SimTime ConsumeFaultPenalty(int64_t bytes, TransferDirection dir);
 
   int pending_faults() const { return pending_faults_; }
+  /// Observability accounting: injected faults this link has consumed so
+  /// far, and the total penalty seconds they charged. Plain accumulators
+  /// the simulation never reads back.
+  int64_t faults_consumed() const { return faults_consumed_; }
+  SimTime penalty_seconds() const { return penalty_seconds_; }
   DeviceHealth health() const {
     DeviceHealth h;
     if (pending_faults_ > 0) {
@@ -53,6 +58,8 @@ class PcieLink {
   double latency_;
   int pending_faults_ = 0;
   SimTime fault_detect_latency_ = 0.0;
+  int64_t faults_consumed_ = 0;
+  SimTime penalty_seconds_ = 0.0;
 };
 
 }  // namespace hsgd

@@ -1,11 +1,18 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 
 namespace hsgd {
 namespace internal {
 
 namespace {
+
 const char* SeverityTag(LogSeverity s) {
   switch (s) {
     case LogSeverity::kInfo: return "I";
@@ -15,7 +22,48 @@ const char* SeverityTag(LogSeverity s) {
   }
   return "?";
 }
+
+LogSeverity ParseLogLevel(const char* value) {
+  if (value == nullptr || *value == '\0') return LogSeverity::kInfo;
+  if (value[0] >= '0' && value[0] <= '3' && value[1] == '\0') {
+    return static_cast<LogSeverity>(value[0] - '0');
+  }
+  // Case-insensitive prefix match, so "warn" and "WARNING" both work.
+  const char c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(value[0])));
+  switch (c) {
+    case 'i': return LogSeverity::kInfo;
+    case 'w': return LogSeverity::kWarning;
+    case 'e': return LogSeverity::kError;
+    case 'f': return LogSeverity::kFatal;
+    default:
+      std::fprintf(stderr,
+                   "[W logging.cc] unrecognized HSGD_LOG_LEVEL '%s'; "
+                   "using info\n",
+                   value);
+      return LogSeverity::kInfo;
+  }
+}
+
+/// Small sequential per-thread id (t0 = first logging thread), far more
+/// readable in interleaved output than a pthread handle.
+int ThreadLogId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
+
+LogSeverity MinLogSeverity() {
+  static const LogSeverity level =
+      ParseLogLevel(std::getenv("HSGD_LOG_LEVEL"));
+  return level;
+}
+
+bool LogEnabled(LogSeverity severity) {
+  return severity >= MinLogSeverity() || severity == LogSeverity::kFatal;
+}
 
 LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
     : severity_(severity) {
@@ -23,8 +71,26 @@ LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
   for (const char* p = file; *p; ++p) {
     if (*p == '/' || *p == '\\') base = p + 1;
   }
-  stream_ << "[" << SeverityTag(severity) << " " << base << ":" << line
-          << "] ";
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000000;
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &secs);
+#else
+  localtime_r(&secs, &tm_buf);
+#endif
+  char prefix[80];
+  std::snprintf(prefix, sizeof(prefix),
+                "[%s %02d%02d %02d:%02d:%02d.%06d t%d ",
+                SeverityTag(severity), tm_buf.tm_mon + 1, tm_buf.tm_mday,
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(micros), ThreadLogId());
+  stream_ << prefix << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

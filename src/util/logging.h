@@ -2,7 +2,15 @@
 //
 //   HSGD_CHECK(cond) << "extra context";        // aborts when cond is false
 //   HSGD_CHECK_OK(status_or_statusor) << "..."; // aborts when !ok()
-//   HSGD_LOG(INFO) << "message";
+//   HSGD_LOG(Info) << "message";
+//
+// The emitted severity floor is runtime-selectable: set HSGD_LOG_LEVEL to
+// info | warning | error | fatal (or 0-3) before launch; default info.
+// Suppressed HSGD_LOG statements never construct the message (the stream
+// expression is not evaluated). Fatal cannot be suppressed, and every
+// line carries a timestamp + thread-id prefix:
+//
+//   [W 0808 14:03:22.123456 t0 session.cc:585] gpu 0 lost at ...
 //
 // Fatal messages are flushed to stderr before abort().
 
@@ -17,6 +25,12 @@ namespace hsgd {
 namespace internal {
 
 enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// The floor parsed from HSGD_LOG_LEVEL, once, on first log statement.
+LogSeverity MinLogSeverity();
+
+/// Whether a HSGD_LOG(severity) statement emits. Fatal always does.
+bool LogEnabled(LogSeverity severity);
 
 class LogMessage {
  public:
@@ -40,8 +54,14 @@ struct LogMessageVoidify {
 
 }  // namespace internal
 
-#define HSGD_LOG(severity)                                       \
-  ::hsgd::internal::LogMessage(                                  \
+// Statement-shaped early-out: when the severity is below the runtime
+// floor the loop body — and with it the entire streamed expression —
+// never runs. The body executes at most once either way.
+#define HSGD_LOG(severity)                                            \
+  for (bool _hsgd_log_on = ::hsgd::internal::LogEnabled(              \
+           ::hsgd::internal::LogSeverity::k##severity);               \
+       _hsgd_log_on; _hsgd_log_on = false)                            \
+  ::hsgd::internal::LogMessage(                                       \
       __FILE__, __LINE__, ::hsgd::internal::LogSeverity::k##severity) \
       .stream()
 

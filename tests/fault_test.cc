@@ -98,10 +98,10 @@ void ExpectRunsBitIdentical(const RunResult& a, const RunResult& b) {
   ExpectTracesEqual(a.trace, b.trace);
   EXPECT_TRUE(a.p == b.p);  // bitwise factor equality
   EXPECT_TRUE(a.q == b.q);
-  EXPECT_EQ(a.stats.sim_seconds, b.stats.sim_seconds);
-  EXPECT_EQ(a.stats.block_tasks, b.stats.block_tasks);
-  EXPECT_EQ(a.stats.stolen_by_gpus, b.stats.stolen_by_gpus);
-  EXPECT_EQ(a.stats.stolen_by_cpus, b.stats.stolen_by_cpus);
+  EXPECT_EQ(a.stats.sim.seconds, b.stats.sim.seconds);
+  EXPECT_EQ(a.stats.sim.block_tasks, b.stats.sim.block_tasks);
+  EXPECT_EQ(a.stats.sim.stolen_by_gpus, b.stats.sim.stolen_by_gpus);
+  EXPECT_EQ(a.stats.sim.stolen_by_cpus, b.stats.sim.stolen_by_cpus);
 }
 
 void ExpectFaultStatsZero(const FaultStats& stats) {
@@ -255,7 +255,7 @@ void TestTransientStraggler() {
   EXPECT_TRUE(slow.status.ok());
   EXPECT_EQ(slow.fault.devices_lost, 0);
   EXPECT_TRUE(slow.fault.degraded);
-  EXPECT_TRUE(slow.stats.sim_seconds > clean.stats.sim_seconds);
+  EXPECT_TRUE(slow.stats.sim.seconds > clean.stats.sim.seconds);
   EXPECT_EQ(slow.epochs_run, cfg.max_epochs);
 }
 
@@ -283,7 +283,7 @@ void TestLinkFaults() {
   EXPECT_TRUE(flaky.status.ok());
   EXPECT_EQ(flaky.fault.transfer_faults, 3);
   EXPECT_EQ(flaky.fault.devices_lost, 0);
-  EXPECT_TRUE(flaky.stats.sim_seconds > clean.stats.sim_seconds);
+  EXPECT_TRUE(flaky.stats.sim.seconds > clean.stats.sim.seconds);
   RunResult replay = RunWithPlan(ds, cfg, "link:gpu0@e1n3");
   EXPECT_TRUE(replay.status.ok());
   ExpectRunsBitIdentical(flaky, replay);

@@ -40,8 +40,8 @@ void TestAllAlgorithmsRun() {
     EXPECT_TRUE(result.ok());
     if (!result.ok()) continue;
     EXPECT_EQ(result->trace.points.size(), 5u);
-    EXPECT_LT(0.0, result->stats.sim_seconds);
-    EXPECT_LT(0, result->stats.block_tasks);
+    EXPECT_LT(0.0, result->stats.sim.seconds);
+    EXPECT_LT(0, result->stats.sim.block_tasks);
     // Learning happened: RMSE dropped versus the first epoch.
     EXPECT_LT(result->trace.points.back().test_rmse,
               result->trace.points.front().test_rmse * 0.95);
@@ -68,9 +68,9 @@ void TestDeterminism() {
     EXPECT_EQ(a->trace.points[i].train_rmse,
               b->trace.points[i].train_rmse);
   }
-  EXPECT_EQ(a->stats.sim_seconds, b->stats.sim_seconds);
-  EXPECT_EQ(a->stats.stolen_by_gpus, b->stats.stolen_by_gpus);
-  EXPECT_EQ(a->stats.stolen_by_cpus, b->stats.stolen_by_cpus);
+  EXPECT_EQ(a->stats.sim.seconds, b->stats.sim.seconds);
+  EXPECT_EQ(a->stats.sim.stolen_by_gpus, b->stats.sim.stolen_by_gpus);
+  EXPECT_EQ(a->stats.sim.stolen_by_cpus, b->stats.sim.stolen_by_cpus);
 
   TrainConfig other = cfg;
   other.seed = cfg.seed + 1;
@@ -78,7 +78,7 @@ void TestDeterminism() {
   EXPECT_TRUE(c.ok());
   // A different seed draws different device speeds and shuffles: the
   // virtual clock will not match bit-for-bit.
-  EXPECT_TRUE(c->stats.sim_seconds != a->stats.sim_seconds);
+  EXPECT_TRUE(c->stats.sim.seconds != a->stats.sim.seconds);
 }
 
 void TestTargetStopsEarly() {
@@ -88,7 +88,7 @@ void TestTargetStopsEarly() {
   cfg.use_dataset_target = true;
   auto result = Trainer::Train(ds, cfg);
   EXPECT_TRUE(result.ok());
-  EXPECT_TRUE(result->stats.reached_target);
+  EXPECT_TRUE(result->stats.sim.reached_target);
   EXPECT_EQ(result->trace.points.size(), 1u);
   EXPECT_EQ(result->trace.TimeToReach(100.0),
             result->trace.points[0].time);
@@ -96,7 +96,7 @@ void TestTargetStopsEarly() {
   ds.target_rmse = 1e-9;  // unreachable
   auto never = Trainer::Train(ds, cfg);
   EXPECT_TRUE(never.ok());
-  EXPECT_FALSE(never->stats.reached_target);
+  EXPECT_FALSE(never->stats.sim.reached_target);
   EXPECT_TRUE(never->trace.TimeToReach(1e-9) >= kSimTimeNever);
 }
 
@@ -104,13 +104,13 @@ void TestStarAlphaAndStats() {
   Dataset ds = SmallDataset();
   auto result = Trainer::Train(ds, SmallConfig(Algorithm::kHsgdStar));
   EXPECT_TRUE(result.ok());
-  EXPECT_TRUE(result->stats.alpha > 0.0 && result->stats.alpha < 1.0);
-  EXPECT_TRUE(result->stats.update_rate_cv >= 0.0);
+  EXPECT_TRUE(result->stats.sim.alpha > 0.0 && result->stats.sim.alpha < 1.0);
+  EXPECT_TRUE(result->stats.sim.update_rate_cv >= 0.0);
 
   auto cpu_only = Trainer::Train(ds, SmallConfig(Algorithm::kCpuOnly));
-  EXPECT_NEAR(cpu_only->stats.alpha, 0.0, 1e-12);
+  EXPECT_NEAR(cpu_only->stats.sim.alpha, 0.0, 1e-12);
   auto gpu_only = Trainer::Train(ds, SmallConfig(Algorithm::kGpuOnly));
-  EXPECT_NEAR(gpu_only->stats.alpha, 1.0, 1e-12);
+  EXPECT_NEAR(gpu_only->stats.sim.alpha, 1.0, 1e-12);
 }
 
 void TestDynamicNoSlowerThanStatic() {
@@ -132,13 +132,13 @@ void TestDynamicNoSlowerThanStatic() {
       auto result = Trainer::Train(ds, cfg);
       EXPECT_TRUE(result.ok());
       (dynamic ? dynamic_total : static_total) +=
-          result->stats.sim_seconds;
+          result->stats.sim.seconds;
       if (dynamic) {
         stolen +=
-            result->stats.stolen_by_gpus + result->stats.stolen_by_cpus;
+            result->stats.sim.stolen_by_gpus + result->stats.sim.stolen_by_cpus;
       } else {
-        EXPECT_EQ(result->stats.stolen_by_gpus, 0);
-        EXPECT_EQ(result->stats.stolen_by_cpus, 0);
+        EXPECT_EQ(result->stats.sim.stolen_by_gpus, 0);
+        EXPECT_EQ(result->stats.sim.stolen_by_cpus, 0);
       }
     }
   }
