@@ -361,14 +361,17 @@ Status WriteCheckpoint(const std::string& path,
   return Status::Ok();
 }
 
-StatusOr<SessionCheckpoint> ReadCheckpoint(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::NotFound(
-        StrFormat("checkpoint '%s' does not exist", path.c_str()));
-  }
+namespace {
+
+/// Shared reader behind ReadCheckpoint and ReadFactorSnapshot. With
+/// `factors_only` the GPU pipeline state and the accumulated trace are
+/// fseek'd over instead of materialized (their lengths are validated
+/// either way); everything else — header, config, fingerprint, factor
+/// sizes — gets the identical loud validation.
+Status ReadCheckpointBody(FILE* f, const std::string& path,
+                          bool factors_only, SessionCheckpoint* out) {
   Reader r(f);
-  SessionCheckpoint ckpt;
+  SessionCheckpoint& ckpt = *out;
   Status error = Status::Ok();
   const uint64_t magic = r.U64();
   const uint32_t version = r.U32();
@@ -414,11 +417,19 @@ StatusOr<SessionCheckpoint> ReadCheckpoint(const std::string& path) {
     ckpt.stolen_by_cpus = r.I64();
     const uint64_t num_gpus = r.U64();
     if (r.ok() && num_gpus <= 4096) {
-      ckpt.gpu_streams.resize(num_gpus);
-      for (GpuStreamState& s : ckpt.gpu_streams) {
-        s.h2d_free = r.F64();
-        s.kernel_free = r.F64();
-        s.d2h_free = r.F64();
+      if (factors_only) {
+        // 3 doubles of stream state per GPU; serving has no use for them.
+        if (std::fseek(f, static_cast<long>(num_gpus * 3 * sizeof(double)),
+                       SEEK_CUR) != 0) {
+          r.Fail();
+        }
+      } else {
+        ckpt.gpu_streams.resize(num_gpus);
+        for (GpuStreamState& s : ckpt.gpu_streams) {
+          s.h2d_free = r.F64();
+          s.kernel_free = r.F64();
+          s.d2h_free = r.F64();
+        }
       }
     } else {
       error = Status::InvalidArgument(
@@ -440,12 +451,21 @@ StatusOr<SessionCheckpoint> ReadCheckpoint(const std::string& path) {
     const uint64_t num_points = r.U64();
     if (r.ok() &&
         num_points == static_cast<uint64_t>(ckpt.epochs_run)) {
-      ckpt.trace.resize(num_points);
-      for (TracePoint& p : ckpt.trace) {
-        p.epoch = r.I32();
-        p.time = r.F64();
-        p.test_rmse = r.F64();
-        p.train_rmse = r.F64();
+      // One I32 + three F64 per serialized TracePoint.
+      constexpr uint64_t kPointBytes = 4 + 3 * sizeof(double);
+      if (factors_only) {
+        if (std::fseek(f, static_cast<long>(num_points * kPointBytes),
+                       SEEK_CUR) != 0) {
+          r.Fail();
+        }
+      } else {
+        ckpt.trace.resize(num_points);
+        for (TracePoint& p : ckpt.trace) {
+          p.epoch = r.I32();
+          p.time = r.F64();
+          p.test_rmse = r.F64();
+          p.train_rmse = r.F64();
+        }
       }
     } else {
       error = Status::InvalidArgument(StrFormat(
@@ -475,9 +495,43 @@ StatusOr<SessionCheckpoint> ReadCheckpoint(const std::string& path) {
     error = Status::InvalidArgument(
         StrFormat("checkpoint '%s' is truncated", path.c_str()));
   }
+  return error;
+}
+
+}  // namespace
+
+StatusOr<SessionCheckpoint> ReadCheckpoint(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound(
+        StrFormat("checkpoint '%s' does not exist", path.c_str()));
+  }
+  SessionCheckpoint ckpt;
+  const Status status =
+      ReadCheckpointBody(f, path, /*factors_only=*/false, &ckpt);
   std::fclose(f);
-  if (!error.ok()) return error;
+  if (!status.ok()) return status;
   return ckpt;
+}
+
+StatusOr<FactorCheckpoint> ReadFactorSnapshot(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound(
+        StrFormat("checkpoint '%s' does not exist", path.c_str()));
+  }
+  SessionCheckpoint ckpt;
+  const Status status =
+      ReadCheckpointBody(f, path, /*factors_only=*/true, &ckpt);
+  std::fclose(f);
+  if (!status.ok()) return status;
+  FactorCheckpoint factors;
+  factors.config = std::move(ckpt.config);
+  factors.dataset = ckpt.dataset;
+  factors.epochs_run = ckpt.epochs_run;
+  factors.p = std::move(ckpt.p);
+  factors.q = std::move(ckpt.q);
+  return factors;
 }
 
 }  // namespace hsgd

@@ -96,6 +96,20 @@ StatusOr<KernelKind> KernelKindByName(const std::string& name) {
       name.c_str()));
 }
 
+void ScoreBlockBatch(const KernelOps& ops, const float* const* users,
+                     int num_users, const float* q, int64_t stride, int k,
+                     int32_t first_item, int32_t count, float* out) {
+  // One score_block sweep per user over the SAME item tile: the tile's Q
+  // rows are pulled from memory by the first user and served from cache
+  // to the rest. Delegating to the variant's score_block (rather than a
+  // new fused kernel) keeps every batched score bitwise identical to the
+  // single-query path for free.
+  for (int u = 0; u < num_users; ++u) {
+    ops.score_block(users[u], q, stride, k, first_item, count,
+                    out + static_cast<int64_t>(u) * count);
+  }
+}
+
 bool KernelSupported(KernelKind kind) {
   switch (kind) {
     case KernelKind::kAuto:

@@ -86,6 +86,19 @@ struct KernelOps {
                       int k, int32_t first_item, int32_t count, float* out);
 };
 
+/// Multi-user batch scoring over one item tile — the serving layer's
+/// entry point into the batch dot-scoring kernel. Scores every user row
+/// in `users[0..num_users)` against items [first_item, first_item+count)
+/// and writes out[u * count + i] = users[u] . q_{first_item + i}. Each
+/// user's row of `out` is bitwise identical to a direct
+/// ops.score_block call on the same operands, so batched and per-query
+/// rankings agree exactly; the win is cache reuse — the Q tile is swept
+/// once per user while it is still resident, so one pass of the factor
+/// matrix through memory serves the whole batch.
+void ScoreBlockBatch(const KernelOps& ops, const float* const* users,
+                     int num_users, const float* q, int64_t stride, int k,
+                     int32_t first_item, int32_t count, float* out);
+
 /// Variant is compiled in AND runnable on this CPU.
 bool KernelSupported(KernelKind kind);
 

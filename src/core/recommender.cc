@@ -1,38 +1,34 @@
 #include "core/recommender.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace hsgd {
 
-Recommender::Recommender(const Model* model, const Ratings& rated,
-                         const KernelOps* ops)
-    : model_(model), ops_(ops != nullptr ? ops : &DefaultKernelOps()) {
-  HSGD_CHECK(model != nullptr);
-  const int32_t num_users = model_->num_rows();
-  const int32_t num_items = model_->num_cols();
+RatedIndex RatedIndex::Build(const Ratings& rated, int32_t num_users,
+                             int32_t num_items) {
+  RatedIndex index;
   // Counting sort into CSR: one pass for per-user counts, one to place.
-  rated_offsets_.assign(static_cast<size_t>(num_users) + 1, 0);
+  index.offsets.assign(static_cast<size_t>(num_users) + 1, 0);
   for (const Rating& r : rated) {
     if (r.u < 0 || r.u >= num_users || r.v < 0 || r.v >= num_items) {
       continue;
     }
-    ++rated_offsets_[static_cast<size_t>(r.u) + 1];
+    ++index.offsets[static_cast<size_t>(r.u) + 1];
   }
-  for (size_t u = 1; u < rated_offsets_.size(); ++u) {
-    rated_offsets_[u] += rated_offsets_[u - 1];
+  for (size_t u = 1; u < index.offsets.size(); ++u) {
+    index.offsets[u] += index.offsets[u - 1];
   }
-  rated_items_.resize(static_cast<size_t>(rated_offsets_.back()));
-  std::vector<int64_t> cursor(rated_offsets_.begin(),
-                              rated_offsets_.end() - 1);
+  index.items.resize(static_cast<size_t>(index.offsets.back()));
+  std::vector<int64_t> cursor(index.offsets.begin(),
+                              index.offsets.end() - 1);
   for (const Rating& r : rated) {
     if (r.u < 0 || r.u >= num_users || r.v < 0 || r.v >= num_items) {
       continue;
     }
-    rated_items_[static_cast<size_t>(cursor[static_cast<size_t>(r.u)]++)] =
+    index.items[static_cast<size_t>(cursor[static_cast<size_t>(r.u)]++)] =
         r.v;
   }
   // Sort each user's list and drop duplicate (u, v) observations, so
@@ -40,31 +36,87 @@ Recommender::Recommender(const Model* model, const Ratings& rated,
   size_t write = 0;
   int64_t read_begin = 0;
   for (int32_t u = 0; u < num_users; ++u) {
-    const int64_t read_end = rated_offsets_[static_cast<size_t>(u) + 1];
-    std::sort(rated_items_.begin() + read_begin,
-              rated_items_.begin() + read_end);
+    const int64_t read_end = index.offsets[static_cast<size_t>(u) + 1];
+    std::sort(index.items.begin() + read_begin,
+              index.items.begin() + read_end);
     const size_t unique_begin = write;
     for (int64_t i = read_begin; i < read_end; ++i) {
-      const int32_t item = rated_items_[static_cast<size_t>(i)];
-      if (write == unique_begin || rated_items_[write - 1] != item) {
-        rated_items_[write++] = item;
+      const int32_t item = index.items[static_cast<size_t>(i)];
+      if (write == unique_begin || index.items[write - 1] != item) {
+        index.items[write++] = item;
       }
     }
     read_begin = read_end;
-    rated_offsets_[static_cast<size_t>(u) + 1] =
+    index.offsets[static_cast<size_t>(u) + 1] =
         static_cast<int64_t>(write);
   }
-  rated_items_.resize(write);
+  index.items.resize(write);
+  return index;
 }
 
-int64_t Recommender::NumRated(int32_t user) const {
-  if (user < 0 || user >= model_->num_rows()) return 0;
-  return rated_offsets_[static_cast<size_t>(user) + 1] -
-         rated_offsets_[static_cast<size_t>(user)];
+int64_t RatedIndex::NumRated(int32_t user) const {
+  if (user < 0 || user >= num_users()) return 0;
+  return offsets[static_cast<size_t>(user) + 1] -
+         offsets[static_cast<size_t>(user)];
+}
+
+TopKAccumulator::TopKAccumulator(int k, const int32_t* excl_begin,
+                                 const int32_t* excl_end)
+    : k_(k), excl_cursor_(excl_begin), excl_end_(excl_end) {
+  HSGD_CHECK(k > 0);
+  heap_.reserve(static_cast<size_t>(k));
+}
+
+void TopKAccumulator::Consume(int32_t tile_begin, int32_t count,
+                              const float* scores) {
+  for (int32_t i = 0; i < count; ++i) {
+    const int32_t v = tile_begin + i;
+    // The exclusion list is sorted, so one forward cursor skips rated
+    // items in O(1) amortized instead of a per-item binary search.
+    while (excl_cursor_ != excl_end_ && *excl_cursor_ < v) {
+      ++excl_cursor_;
+    }
+    if (excl_cursor_ != excl_end_ && *excl_cursor_ == v) {
+      continue;
+    }
+    const ScoredItem candidate{v, scores[static_cast<size_t>(i)]};
+    if (static_cast<int>(heap_.size()) < k_) {
+      heap_.push_back(candidate);
+      std::push_heap(heap_.begin(), heap_.end(), Better);
+    } else if (Better(candidate, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), Better);
+      heap_.back() = candidate;
+      std::push_heap(heap_.begin(), heap_.end(), Better);
+    }
+  }
+}
+
+std::vector<ScoredItem> TopKAccumulator::Finish() {
+  // Pop the heap (worst first) into the result back-to-front.
+  std::vector<ScoredItem> result(heap_.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    std::pop_heap(heap_.begin(), heap_.end(), Better);
+    result[i] = heap_.back();
+    heap_.pop_back();
+  }
+  return result;
+}
+
+Recommender::Recommender(const Model* model, const Ratings& rated,
+                         const KernelOps* ops)
+    : model_(model), ops_(ops != nullptr ? ops : &DefaultKernelOps()) {
+  HSGD_CHECK(model != nullptr);
+  rated_ = RatedIndex::Build(rated, model_->num_rows(), model_->num_cols());
 }
 
 StatusOr<std::vector<ScoredItem>> Recommender::TopK(int32_t user,
                                                     int k) const {
+  std::vector<float> scores;
+  return TopK(user, k, &scores);
+}
+
+StatusOr<std::vector<ScoredItem>> Recommender::TopK(
+    int32_t user, int k, std::vector<float>* score_buffer) const {
   if (user < 0 || user >= model_->num_rows()) {
     return Status::InvalidArgument(
         StrFormat("user %d out of range [0, %d)", user,
@@ -77,60 +129,22 @@ StatusOr<std::vector<ScoredItem>> Recommender::TopK(int32_t user,
   const int32_t num_items = model_->num_cols();
   const float* p = model_->Row(user);
 
-  // better(a, b): a outranks b — higher score, ties to the smaller item
-  // id for determinism. Used as the heap comparator, it keeps the WORST
-  // retained candidate on top, so a better score evicts it in O(log k).
-  auto better = [](const ScoredItem& a, const ScoredItem& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.item < b.item;
-  };
-  std::priority_queue<ScoredItem, std::vector<ScoredItem>,
-                      decltype(better)>
-      heap(better);
-
-  const int64_t rated_begin = rated_offsets_[static_cast<size_t>(user)];
-  const int64_t rated_end = rated_offsets_[static_cast<size_t>(user) + 1];
-  int64_t rated_cursor = rated_begin;
   // Score the catalog in tiles through the batch dot-scoring kernel (one
-  // indirect call per tile, SIMD inside), then walk each tile with the
-  // exclusion cursor. Scoring a rated item and discarding it is cheaper
+  // indirect call per tile, SIMD inside), then feed each tile to the
+  // shared accumulator. Scoring a rated item and discarding it is cheaper
   // than breaking the batch around it.
-  constexpr int32_t kTile = 1024;
-  std::vector<float> scores(static_cast<size_t>(
-      std::min(kTile, std::max<int32_t>(num_items, 1))));
+  if (score_buffer->size() < static_cast<size_t>(kTopKTile)) {
+    score_buffer->resize(static_cast<size_t>(kTopKTile));
+  }
+  TopKAccumulator acc(k, rated_.Begin(user), rated_.End(user));
   for (int32_t tile_begin = 0; tile_begin < num_items;
-       tile_begin += kTile) {
-    const int32_t count = std::min(kTile, num_items - tile_begin);
+       tile_begin += kTopKTile) {
+    const int32_t count = std::min(kTopKTile, num_items - tile_begin);
     ops_->score_block(p, model_->q_data(), model_->stride(), model_->k(),
-                      tile_begin, count, scores.data());
-    for (int32_t i = 0; i < count; ++i) {
-      const int32_t v = tile_begin + i;
-      // The exclusion list is sorted, so one forward cursor skips rated
-      // items in O(1) amortized instead of a per-item binary search.
-      while (rated_cursor < rated_end &&
-             rated_items_[static_cast<size_t>(rated_cursor)] < v) {
-        ++rated_cursor;
-      }
-      if (rated_cursor < rated_end &&
-          rated_items_[static_cast<size_t>(rated_cursor)] == v) {
-        continue;
-      }
-      const float score = scores[static_cast<size_t>(i)];
-      if (static_cast<int>(heap.size()) < k) {
-        heap.push({v, score});
-      } else if (better(ScoredItem{v, score}, heap.top())) {
-        heap.pop();
-        heap.push({v, score});
-      }
-    }
+                      tile_begin, count, score_buffer->data());
+    acc.Consume(tile_begin, count, score_buffer->data());
   }
-
-  std::vector<ScoredItem> result(heap.size());
-  for (size_t i = result.size(); i-- > 0;) {
-    result[i] = heap.top();
-    heap.pop();
-  }
-  return result;
+  return acc.Finish();
 }
 
 }  // namespace hsgd

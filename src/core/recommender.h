@@ -1,12 +1,18 @@
 // Serving facade over trained factors: top-k item retrieval for a user,
 // excluding the items the user already rated. This is the query half of
-// the ROADMAP's serving path — a shardable server wraps this class; the
-// scoring itself has no dependency on the trainer or the simulators.
+// the ROADMAP's serving path — serve/ wraps this machinery in a
+// concurrent server; the scoring itself has no dependency on the trainer
+// or the simulators.
 //
 // The recommender borrows the model (e.g. a live Session's `model()`, or
 // one restored from a checkpoint) and indexes the exclusion set once at
 // construction; TopK itself is read-only and safe to call from many
 // threads concurrently.
+//
+// The building blocks are exposed so the serving batch path produces
+// bit-identical rankings: RatedIndex is the CSR exclusion set a
+// FactorSnapshot copies, and TopKAccumulator is the tile-walk + bounded
+// heap every TopK variant (facade, snapshot, batched) feeds.
 
 #pragma once
 
@@ -22,6 +28,72 @@ namespace hsgd {
 struct ScoredItem {
   int32_t item = 0;
   float score = 0.0f;
+};
+
+/// The item-tile width every TopK variant scores through score_block.
+/// Shared so the batched path consumes scores in exactly the facade's
+/// tile order (bitwise-identical results, and a tile of Q rows stays
+/// cache-resident across a batch).
+inline constexpr int32_t kTopKTile = 1024;
+
+/// CSR-style per-user exclusion lists: items of user u live in
+/// items[offsets[u] .. offsets[u + 1]), sorted ascending, duplicates
+/// collapsed. Entries outside [0, num_users) x [0, num_items) are
+/// dropped. Built once, then shared read-only by any number of queries.
+struct RatedIndex {
+  std::vector<int64_t> offsets;
+  std::vector<int32_t> items;
+
+  static RatedIndex Build(const Ratings& rated, int32_t num_users,
+                          int32_t num_items);
+
+  int32_t num_users() const {
+    return static_cast<int32_t>(offsets.empty() ? 0 : offsets.size() - 1);
+  }
+  /// Distinct items `user` has rated; 0 for out-of-range users.
+  int64_t NumRated(int32_t user) const;
+  const int32_t* Begin(int32_t user) const {
+    return items.data() + offsets[static_cast<size_t>(user)];
+  }
+  const int32_t* End(int32_t user) const {
+    return items.data() + offsets[static_cast<size_t>(user) + 1];
+  }
+};
+
+/// Streaming top-k selection for ONE query: feed each scored item tile in
+/// ascending-item order via Consume, then Finish for the ranked result.
+/// Skips the query's sorted exclusion list with a forward cursor, keeps
+/// the best k candidates in a bounded heap, and breaks score ties toward
+/// the smaller item id — the exact selection logic of Recommender::TopK,
+/// factored out so the serving batch path (tiles interleaved across many
+/// queries) cannot drift from the facade (tiles of one query in a row).
+class TopKAccumulator {
+ public:
+  /// `excl_begin/excl_end` delimit the query's sorted exclusion list
+  /// (borrowed; may be null/null for none). `k` must be positive.
+  TopKAccumulator(int k, const int32_t* excl_begin, const int32_t* excl_end);
+
+  /// Offer items [tile_begin, tile_begin + count) with their scores.
+  /// Tiles must arrive in ascending, non-overlapping item order.
+  void Consume(int32_t tile_begin, int32_t count, const float* scores);
+
+  /// The ranked result: descending score, ties by ascending item id.
+  std::vector<ScoredItem> Finish();
+
+ private:
+  /// True when `a` outranks `b`. As the heap comparator this keeps the
+  /// WORST retained candidate on top, so a better score evicts it in
+  /// O(log k).
+  static bool Better(const ScoredItem& a, const ScoredItem& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  }
+
+  int k_;
+  const int32_t* excl_cursor_;
+  const int32_t* excl_end_;
+  /// Binary heap ordered by Better (worst retained candidate at front).
+  std::vector<ScoredItem> heap_;
 };
 
 class Recommender {
@@ -43,18 +115,24 @@ class Recommender {
   /// or non-positive k.
   StatusOr<std::vector<ScoredItem>> TopK(int32_t user, int k) const;
 
+  /// Same, reusing `score_buffer` as the tile scratch instead of
+  /// allocating per call — the form the serving layer drives, where a
+  /// worker answers thousands of queries with one resident buffer. The
+  /// buffer is resized as needed (to kTopKTile floats) and holds
+  /// garbage afterwards; it must not be shared between concurrent calls.
+  StatusOr<std::vector<ScoredItem>> TopK(int32_t user, int k,
+                                         std::vector<float>* score_buffer) const;
+
   int32_t num_users() const { return model_->num_rows(); }
   int32_t num_items() const { return model_->num_cols(); }
   /// Items `user` has rated (the exclusion set), sorted ascending.
-  int64_t NumRated(int32_t user) const;
+  int64_t NumRated(int32_t user) const { return rated_.NumRated(user); }
+  const RatedIndex& rated_index() const { return rated_; }
 
  private:
   const Model* model_;
   const KernelOps* ops_;
-  /// CSR-style per-user exclusion lists: items of user u live in
-  /// rated_items_[rated_offsets_[u] .. rated_offsets_[u + 1]), sorted.
-  std::vector<int64_t> rated_offsets_;
-  std::vector<int32_t> rated_items_;
+  RatedIndex rated_;
 };
 
 }  // namespace hsgd

@@ -1,0 +1,296 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace hsgd::serve {
+
+RecServer::RecServer(const ServeConfig& config) : config_(config) {}
+
+StatusOr<std::unique_ptr<RecServer>> RecServer::Create(
+    const ServeConfig& config, SnapshotPtr initial,
+    obs::MetricsRegistry* metrics, obs::Tracer* trace) {
+  if (config.shards < 1 || config.shards > 4096) {
+    return Status::InvalidArgument(
+        StrFormat("shards must be in [1, 4096], got %d", config.shards));
+  }
+  if (config.max_batch < 1) {
+    return Status::InvalidArgument(
+        StrFormat("max_batch must be positive, got %d", config.max_batch));
+  }
+  if (config.max_queue < 0) {
+    return Status::InvalidArgument(
+        StrFormat("max_queue must be >= 0, got %d", config.max_queue));
+  }
+  auto resolved = ResolveKernelKind(config.kernel);
+  HSGD_RETURN_IF_ERROR(resolved.status());
+
+  auto server = std::unique_ptr<RecServer>(new RecServer(config));
+  server->config_.kernel = *resolved;
+  server->ops_ = &GetKernelOps(*resolved);
+  if (initial != nullptr) server->Publish(std::move(initial));
+
+  if (metrics != nullptr) {
+    server->m_requests_ = metrics->counter("serve.requests");
+    server->m_ok_ = metrics->counter("serve.ok");
+    server->m_shed_ = metrics->counter("serve.shed");
+    server->m_rejected_ = metrics->counter("serve.rejected");
+    server->m_deadline_miss_ = metrics->counter("serve.deadline_miss");
+    server->m_cold_ = metrics->counter("serve.cold_users");
+    server->m_invalid_ = metrics->counter("serve.invalid");
+    server->m_batches_ = metrics->counter("serve.batches");
+    server->m_publishes_ = metrics->counter("serve.snapshot_publishes");
+    server->m_snapshot_version_ = metrics->gauge("serve.snapshot_version");
+    // 10us .. ~84s exponential edges: covers sub-ms in-process serving
+    // through badly overloaded tails.
+    server->m_latency_ = metrics->histogram(
+        "serve.latency_seconds", obs::ExponentialBounds(1e-5, 2.0, 24));
+    server->m_batch_size_ = metrics->histogram(
+        "serve.batch_size", obs::ExponentialBounds(1.0, 2.0, 12));
+  }
+  server->tracer_ = trace;
+  if (trace != nullptr) {
+    for (int s = 0; s < config.shards; ++s) {
+      trace->SetThreadName(s, StrFormat("serve shard %d", s));
+    }
+  }
+
+  server->shards_.reserve(config.shards);
+  for (int s = 0; s < config.shards; ++s) {
+    server->shards_.push_back(std::make_unique<Shard>());
+  }
+  server->pool_ =
+      std::make_unique<ThreadPool>(static_cast<size_t>(config.shards));
+  RecServer* raw = server.get();
+  for (int s = 0; s < config.shards; ++s) {
+    server->pool_->Submit([raw, s] { raw->ShardLoop(s); });
+  }
+  return server;
+}
+
+RecServer::~RecServer() { Shutdown(); }
+
+void RecServer::Publish(SnapshotPtr snapshot) {
+  const uint64_t version = snapshot != nullptr ? snapshot->version() : 0;
+  holder_.Publish(std::move(snapshot));
+  counts_.publishes.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(m_publishes_);
+  obs::Set(m_snapshot_version_, static_cast<double>(version));
+}
+
+std::future<StatusOr<TopKResponse>> RecServer::Submit(
+    const TopKRequest& request) {
+  counts_.requests.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(m_requests_);
+  std::promise<StatusOr<TopKResponse>> promise;
+  std::future<StatusOr<TopKResponse>> future = promise.get_future();
+
+  Pending pending;
+  pending.request = request;
+  pending.enqueue_s = clock_.Seconds();
+  pending.promise = std::move(promise);
+
+  Shard& shard = *shards_[ShardFor(request)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (stopping_.load(std::memory_order_acquire)) {
+      counts_.rejected.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(m_rejected_);
+      pending.promise.set_value(
+          Status::Unavailable("server is shutting down"));
+      return future;
+    }
+    if (config_.max_queue > 0 &&
+        shard.queue.size() >= static_cast<size_t>(config_.max_queue)) {
+      counts_.rejected.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(m_rejected_);
+      pending.promise.set_value(Status::Unavailable(
+          StrFormat("shard queue full (%d queued)", config_.max_queue)));
+      return future;
+    }
+    shard.queue.push_back(std::move(pending));
+  }
+  shard.cv.notify_one();
+  return future;
+}
+
+StatusOr<TopKResponse> RecServer::Query(const TopKRequest& request) {
+  return Submit(request).get();
+}
+
+void RecServer::ShardLoop(int shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock, [&] {
+        return !shard.queue.empty() ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (shard.queue.empty()) {
+        // Stopping and fully drained.
+        return;
+      }
+      const size_t take = std::min(shard.queue.size(),
+                                   static_cast<size_t>(config_.max_batch));
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(shard.queue.front()));
+        shard.queue.pop_front();
+      }
+    }
+    ProcessBatch(shard_index, &batch);
+  }
+}
+
+void RecServer::ProcessBatch(int shard_index, std::vector<Pending>* batch) {
+  const double batch_begin_s = clock_.Seconds();
+  // ONE snapshot per batch: a concurrent Publish changes later batches,
+  // never the one in flight, so a batch's answers can't mix two models.
+  const SnapshotPtr snapshot = holder_.Acquire();
+
+  // Triage: shed expired requests, resolve raw ids, collect the scorable
+  // queries. `live` maps scorable-query position -> batch position.
+  std::vector<TopKQuery> queries;
+  std::vector<size_t> live;
+  queries.reserve(batch->size());
+  live.reserve(batch->size());
+  int64_t shed = 0;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    Pending& pending = (*batch)[i];
+    if (snapshot == nullptr) {
+      pending.promise.set_value(
+          Status::Unavailable("no snapshot published yet"));
+      counts_.rejected.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(m_rejected_);
+      continue;
+    }
+    if (config_.latency_budget_s > 0.0 &&
+        batch_begin_s - pending.enqueue_s > config_.latency_budget_s) {
+      ++shed;
+      counts_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(m_shed_);
+      pending.promise.set_value(Status::DeadlineExceeded(StrFormat(
+          "request queued %.1fms, budget %.1fms",
+          (batch_begin_s - pending.enqueue_s) * 1e3,
+          config_.latency_budget_s * 1e3)));
+      continue;
+    }
+    int32_t dense_user;
+    if (pending.request.raw) {
+      auto resolved = snapshot->DenseUser(pending.request.user);
+      if (!resolved.ok()) {
+        counts_.cold_users.fetch_add(1, std::memory_order_relaxed);
+        obs::Increment(m_cold_);
+        pending.promise.set_value(resolved.status());
+        continue;
+      }
+      dense_user = *resolved;
+    } else {
+      if (pending.request.user < 0 ||
+          pending.request.user > INT32_MAX) {
+        counts_.invalid.fetch_add(1, std::memory_order_relaxed);
+        obs::Increment(m_invalid_);
+        pending.promise.set_value(Status::InvalidArgument(StrFormat(
+            "user id %lld is not a dense index",
+            static_cast<long long>(pending.request.user))));
+        continue;
+      }
+      dense_user = static_cast<int32_t>(pending.request.user);
+    }
+    queries.push_back({dense_user, pending.request.k});
+    live.push_back(i);
+  }
+
+  if (!queries.empty()) {
+    counts_.batches.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(m_batches_);
+    obs::Observe(m_batch_size_, static_cast<double>(queries.size()));
+    // Thread-local so each shard worker keeps one resident buffer across
+    // its lifetime of batches.
+    static thread_local std::vector<float> scratch;
+    auto results =
+        BatchTopK(*snapshot, queries.data(), queries.size(), ops_,
+                  &scratch);
+    const double done_s = clock_.Seconds();
+    for (size_t qi = 0; qi < results.size(); ++qi) {
+      Pending& pending = (*batch)[live[qi]];
+      if (!results[qi].ok()) {
+        counts_.invalid.fetch_add(1, std::memory_order_relaxed);
+        obs::Increment(m_invalid_);
+        pending.promise.set_value(results[qi].status());
+        continue;
+      }
+      TopKResponse response;
+      response.items = *std::move(results[qi]);
+      if (snapshot->has_id_maps()) {
+        response.raw_items.reserve(response.items.size());
+        for (const ScoredItem& item : response.items) {
+          response.raw_items.push_back(snapshot->RawItem(item.item));
+        }
+      }
+      response.snapshot_version = snapshot->version();
+      response.latency_s = done_s - pending.enqueue_s;
+      counts_.ok.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(m_ok_);
+      obs::Observe(m_latency_, response.latency_s);
+      if (config_.latency_budget_s > 0.0 &&
+          response.latency_s > config_.latency_budget_s) {
+        counts_.deadline_miss.fetch_add(1, std::memory_order_relaxed);
+        obs::Increment(m_deadline_miss_);
+      }
+      pending.promise.set_value(std::move(response));
+    }
+  }
+
+  if (tracer_ != nullptr) {
+    tracer_->Span(
+        "serve", "batch", shard_index, batch_begin_s, clock_.Seconds(),
+        {obs::TraceArg::Int("queries", static_cast<int64_t>(queries.size())),
+         obs::TraceArg::Int("shed", shed),
+         obs::TraceArg::Int(
+             "snapshot_version",
+             snapshot != nullptr
+                 ? static_cast<int64_t>(snapshot->version())
+                 : -1)});
+  }
+}
+
+void RecServer::Shutdown() {
+  if (joined_) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    // The store above is ordered before this lock/unlock pair, so a
+    // worker that re-checks under the lock cannot miss it.
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cv.notify_all();
+  }
+  // ThreadPool's destructor joins the shard loops (they exit once their
+  // queues drain).
+  pool_.reset();
+  joined_ = true;
+}
+
+ServeCounters RecServer::counters() const {
+  ServeCounters counters;
+  counters.requests = counts_.requests.load(std::memory_order_relaxed);
+  counters.ok = counts_.ok.load(std::memory_order_relaxed);
+  counters.shed_deadline =
+      counts_.shed_deadline.load(std::memory_order_relaxed);
+  counters.rejected = counts_.rejected.load(std::memory_order_relaxed);
+  counters.deadline_miss =
+      counts_.deadline_miss.load(std::memory_order_relaxed);
+  counters.cold_users = counts_.cold_users.load(std::memory_order_relaxed);
+  counters.invalid = counts_.invalid.load(std::memory_order_relaxed);
+  counters.batches = counts_.batches.load(std::memory_order_relaxed);
+  counters.publishes = counts_.publishes.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace hsgd::serve

@@ -1,0 +1,211 @@
+// RecServer: the concurrent recommendation-serving request loop.
+//
+// Architecture (in-process driver loop — the API is socket-shaped so an
+// epoll/io_uring front end can be bolted on later without touching the
+// scoring path):
+//
+//   Submit(request)                 user-sharded queues      micro-batch
+//   ── admission check ──> shard = user mod S ──> worker s ──> coalesce
+//        (queue bound)         mutex+cv queue        up to max_batch
+//                                                        │
+//                              ┌─────────────────────────┘
+//                              ▼
+//            SnapshotHolder::Acquire()  (one pin per BATCH, lock-free)
+//                              ▼
+//            deadline check: shed requests held past the latency budget
+//                              ▼
+//            BatchTopK: one tile-major factor sweep answers the batch
+//                              ▼
+//            fulfill futures, record latency / batch-size / trace span
+//
+// Requests for the same user always land on the same shard (their
+// exclusion lists and factor rows stay cache-warm there), and a batch is
+// scored against exactly ONE snapshot — a concurrent Publish affects
+// only later batches, so results are never a torn mix of two models.
+//
+// Load shedding is typed: a request rejected at admission (queue full or
+// server stopped) fails Unavailable; one held past the latency budget is
+// shed with DeadlineExceeded before any scoring work is wasted on it; a
+// raw id the model has no factors for is NotFound (cold user). A request
+// that completes over budget still returns its result, counted as a
+// deadline miss.
+//
+// All counters/histograms/spans go through borrowed obs/ sinks (may be
+// null); a small always-on atomic counter block backs the bench and
+// tests without requiring a registry.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/kernels/kernels.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace hsgd::obs {
+class MetricsRegistry;
+class Tracer;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace hsgd::obs
+
+namespace hsgd::serve {
+
+struct ServeConfig {
+  /// Worker shards (threads AND queues; requests shard by user id).
+  int shards = 4;
+  /// Max queries coalesced into one scoring sweep.
+  int max_batch = 32;
+  /// Per-shard admission bound; a full queue rejects with Unavailable.
+  /// 0 = unbounded.
+  int max_queue = 1024;
+  /// Latency budget in seconds: requests still queued past it are shed
+  /// with DeadlineExceeded; completed-but-late ones count as deadline
+  /// misses. <= 0 disables both.
+  double latency_budget_s = 0.0;
+  /// Scoring kernel (resolved at Create; kAuto = best supported).
+  KernelKind kernel = KernelKind::kAuto;
+};
+
+struct TopKRequest {
+  /// Dense user index, or an external raw id when `raw` is set (resolved
+  /// through the snapshot's IdMap; cold ids fail NotFound).
+  int64_t user = 0;
+  bool raw = false;
+  int k = 10;
+};
+
+struct TopKResponse {
+  /// Ranked items (dense indices), descending score.
+  std::vector<ScoredItem> items;
+  /// External ids for `items`, filled when the snapshot carries id maps.
+  std::vector<int64_t> raw_items;
+  /// Version of the snapshot that scored this request.
+  uint64_t snapshot_version = 0;
+  /// End-to-end seconds from Submit to completion.
+  double latency_s = 0.0;
+};
+
+/// Always-on request accounting (plain reads of atomics; exact once the
+/// server is idle). The obs registry mirrors these under serve.*.
+struct ServeCounters {
+  int64_t requests = 0;
+  int64_t ok = 0;
+  int64_t shed_deadline = 0;   // dropped at dequeue: budget exhausted
+  int64_t rejected = 0;        // dropped at admission: queue full/stopped
+  int64_t deadline_miss = 0;   // completed, but over budget
+  int64_t cold_users = 0;      // raw id with no trained factors
+  int64_t invalid = 0;         // malformed query (range/k)
+  int64_t batches = 0;         // scoring sweeps run
+  int64_t publishes = 0;       // snapshots installed
+};
+
+class RecServer {
+ public:
+  /// `initial` may be null (queries fail Unavailable until the first
+  /// Publish). `metrics`/`trace` are borrowed sinks, either may be null.
+  /// Fails if the config is malformed or the kernel is unsupported.
+  static StatusOr<std::unique_ptr<RecServer>> Create(
+      const ServeConfig& config, SnapshotPtr initial,
+      obs::MetricsRegistry* metrics = nullptr,
+      obs::Tracer* trace = nullptr);
+
+  /// Drains queued requests, then joins the workers.
+  ~RecServer();
+
+  RecServer(const RecServer&) = delete;
+  RecServer& operator=(const RecServer&) = delete;
+
+  /// Install a new snapshot without blocking in-flight queries — batches
+  /// already scoring finish on the snapshot they pinned; later batches
+  /// see the new one.
+  void Publish(SnapshotPtr snapshot);
+  /// The snapshot new batches would score against right now.
+  SnapshotPtr CurrentSnapshot() const { return holder_.Acquire(); }
+
+  /// Enqueue a query; the future resolves when a worker answers (or
+  /// sheds) it. Safe from any thread.
+  std::future<StatusOr<TopKResponse>> Submit(const TopKRequest& request);
+  /// Submit + wait, for callers with nothing to overlap.
+  StatusOr<TopKResponse> Query(const TopKRequest& request);
+
+  /// Stop admitting, drain every queued request, join the workers.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  ServeCounters counters() const;
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    TopKRequest request;
+    double enqueue_s = 0.0;  // server clock at Submit
+    std::promise<StatusOr<TopKResponse>> promise;
+  };
+
+  /// One shard: a mutex/cv guarded queue its worker drains in batches.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending> queue;
+  };
+
+  explicit RecServer(const ServeConfig& config);
+
+  void ShardLoop(int shard_index);
+  /// Answer (or shed) one dequeued batch against a single snapshot.
+  void ProcessBatch(int shard_index, std::vector<Pending>* batch);
+
+  int ShardFor(const TopKRequest& request) const {
+    return static_cast<int>(static_cast<uint64_t>(request.user) %
+                            static_cast<uint64_t>(config_.shards));
+  }
+
+  ServeConfig config_;
+  const KernelOps* ops_ = nullptr;
+  SnapshotHolder holder_;
+  /// Server-lifetime wall clock: enqueue stamps, latencies, trace ts.
+  Stopwatch clock_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> stopping_{false};
+  bool joined_ = false;
+
+  struct {
+    std::atomic<int64_t> requests{0};
+    std::atomic<int64_t> ok{0};
+    std::atomic<int64_t> shed_deadline{0};
+    std::atomic<int64_t> rejected{0};
+    std::atomic<int64_t> deadline_miss{0};
+    std::atomic<int64_t> cold_users{0};
+    std::atomic<int64_t> invalid{0};
+    std::atomic<int64_t> batches{0};
+    std::atomic<int64_t> publishes{0};
+  } counts_;
+
+  // Borrowed obs sinks + pre-resolved handles (null when detached).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_ok_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_deadline_miss_ = nullptr;
+  obs::Counter* m_cold_ = nullptr;
+  obs::Counter* m_invalid_ = nullptr;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Counter* m_publishes_ = nullptr;
+  obs::Gauge* m_snapshot_version_ = nullptr;
+  obs::Histogram* m_latency_ = nullptr;
+  obs::Histogram* m_batch_size_ = nullptr;
+};
+
+}  // namespace hsgd::serve

@@ -1,0 +1,233 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "core/session.h"
+#include "util/strings.h"
+
+namespace hsgd::serve {
+
+namespace {
+
+/// Copy an IdMap by replaying its first-appearance order (IdMap has no
+/// copy interface; Assign in raw order reproduces it exactly).
+io::IdMap CopyIdMap(const io::IdMap& source) {
+  io::IdMap copy;
+  for (int32_t dense = 0; dense < source.size(); ++dense) {
+    copy.Assign(source.Raw(dense));
+  }
+  return copy;
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const FactorSnapshot>> FactorSnapshot::FromModel(
+    const Model& model, const Ratings& rated, uint64_t version,
+    const io::IdMap* users, const io::IdMap* items) {
+  auto snapshot = std::shared_ptr<FactorSnapshot>(new FactorSnapshot());
+  snapshot->num_users_ = model.num_rows();
+  snapshot->num_items_ = model.num_cols();
+  snapshot->k_ = model.k();
+  snapshot->stride_ = model.stride();
+  snapshot->version_ = version;
+  // The model is already in the padded aligned layout the kernels want;
+  // one memcpy per matrix and the snapshot is scoring-ready.
+  snapshot->p_ = AllocateAlignedFloats(model.p_size());
+  snapshot->q_ = AllocateAlignedFloats(model.q_size());
+  std::memcpy(snapshot->p_.get(), model.p_data(),
+              model.p_size() * sizeof(float));
+  std::memcpy(snapshot->q_.get(), model.q_data(),
+              model.q_size() * sizeof(float));
+  snapshot->rated_ =
+      RatedIndex::Build(rated, model.num_rows(), model.num_cols());
+  if (users != nullptr && items != nullptr) {
+    if (users->size() != model.num_rows() ||
+        items->size() != model.num_cols()) {
+      return Status::InvalidArgument(StrFormat(
+          "id maps (%d users, %d items) do not match the model "
+          "(%d x %d)",
+          users->size(), items->size(), model.num_rows(),
+          model.num_cols()));
+    }
+    snapshot->users_ = CopyIdMap(*users);
+    snapshot->items_ = CopyIdMap(*items);
+    snapshot->has_id_maps_ = true;
+  } else if (users != nullptr || items != nullptr) {
+    return Status::InvalidArgument(
+        "id maps must be given for both users and items, or neither");
+  }
+  return std::shared_ptr<const FactorSnapshot>(std::move(snapshot));
+}
+
+StatusOr<std::shared_ptr<const FactorSnapshot>> FactorSnapshot::FromSession(
+    const Session& session, uint64_t version) {
+  return FromModel(session.model(), session.dataset().train, version);
+}
+
+StatusOr<std::shared_ptr<const FactorSnapshot>>
+FactorSnapshot::FromDenseFactors(const std::vector<float>& p,
+                                 const std::vector<float>& q,
+                                 int32_t num_users, int32_t num_items,
+                                 int k, const Ratings& rated,
+                                 uint64_t version, const io::IdMap* users,
+                                 const io::IdMap* items) {
+  if (num_users <= 0 || num_items <= 0 || k <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "non-positive snapshot dimensions (%d x %d, k=%d)", num_users,
+        num_items, k));
+  }
+  if (p.size() != static_cast<size_t>(num_users) * k ||
+      q.size() != static_cast<size_t>(num_items) * k) {
+    return Status::InvalidArgument(StrFormat(
+        "factor sizes (%zu, %zu) do not match %d x %d at rank %d",
+        p.size(), q.size(), num_users, num_items, k));
+  }
+  // Re-pad the dense rows into the aligned SIMD layout (see core/model.h);
+  // AllocateAlignedFloats zero-fills, so the padding-lane invariant the
+  // kernels rely on holds.
+  Model model(num_users, num_items, k);
+  model.SetDense(p, q);
+  return FromModel(model, rated, version, users, items);
+}
+
+StatusOr<std::shared_ptr<const FactorSnapshot>>
+FactorSnapshot::FromCheckpoint(const std::string& path,
+                               const Ratings& rated, uint64_t version,
+                               const io::IdMap* users,
+                               const io::IdMap* items) {
+  auto factors = ReadFactorSnapshot(path);
+  HSGD_RETURN_IF_ERROR(factors.status());
+  return FromDenseFactors(factors->p, factors->q,
+                          factors->dataset.num_rows,
+                          factors->dataset.num_cols, factors->dataset.k,
+                          rated, version, users, items);
+}
+
+StatusOr<int32_t> FactorSnapshot::DenseUser(int64_t raw_user) const {
+  if (!has_id_maps_) {
+    if (raw_user < 0 || raw_user >= num_users_) {
+      return Status::NotFound(StrFormat(
+          "cold user: id %lld outside the model's [0, %d) user range",
+          static_cast<long long>(raw_user), num_users_));
+    }
+    return static_cast<int32_t>(raw_user);
+  }
+  const int32_t dense = users_.Lookup(raw_user);
+  if (dense < 0) {
+    return Status::NotFound(StrFormat(
+        "cold user: raw id %lld has no trained factors",
+        static_cast<long long>(raw_user)));
+  }
+  return dense;
+}
+
+std::vector<StatusOr<std::vector<ScoredItem>>> BatchTopK(
+    const FactorSnapshot& snapshot, const TopKQuery* queries, size_t n,
+    const KernelOps* ops, std::vector<float>* scratch) {
+  if (ops == nullptr) ops = &DefaultKernelOps();
+  std::vector<float> local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+
+  // Validate up front; only valid queries join the batched sweep.
+  std::vector<Status> errors(n, Status::Ok());
+  std::vector<size_t> valid;
+  valid.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const TopKQuery& query = queries[i];
+    if (query.user < 0 || query.user >= snapshot.num_users()) {
+      errors[i] = Status::InvalidArgument(
+          StrFormat("user %d out of range [0, %d)", query.user,
+                    snapshot.num_users()));
+    } else if (query.k <= 0) {
+      errors[i] = Status::InvalidArgument(
+          StrFormat("k must be positive, got %d", query.k));
+    } else {
+      valid.push_back(i);
+    }
+  }
+
+  const RatedIndex& rated = snapshot.rated_index();
+  std::vector<const float*> rows;
+  std::vector<TopKAccumulator> accs;
+  rows.reserve(valid.size());
+  accs.reserve(valid.size());
+  for (size_t i : valid) {
+    const int32_t user = queries[i].user;
+    rows.push_back(snapshot.UserRow(user));
+    accs.emplace_back(queries[i].k, rated.Begin(user), rated.End(user));
+  }
+
+  // The batched sweep: tiles outermost, so each Q tile crosses memory
+  // once and serves every query while cache-resident. Per query the tile
+  // order and score_block operands are exactly the Recommender facade's,
+  // which is what makes batched results bitwise equal to sequential ones.
+  const int32_t num_items = snapshot.num_items();
+  if (!valid.empty()) {
+    const size_t needed = valid.size() * static_cast<size_t>(kTopKTile);
+    if (scratch->size() < needed) scratch->resize(needed);
+    for (int32_t tile_begin = 0; tile_begin < num_items;
+         tile_begin += kTopKTile) {
+      const int32_t count = std::min(kTopKTile, num_items - tile_begin);
+      ScoreBlockBatch(*ops, rows.data(), static_cast<int>(rows.size()),
+                      snapshot.q_data(), snapshot.stride(), snapshot.k(),
+                      tile_begin, count, scratch->data());
+      for (size_t vi = 0; vi < valid.size(); ++vi) {
+        accs[vi].Consume(tile_begin, count,
+                         scratch->data() + vi * static_cast<size_t>(count));
+      }
+    }
+  }
+
+  std::vector<StatusOr<std::vector<ScoredItem>>> results;
+  results.reserve(n);
+  size_t vi = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (errors[i].ok()) {
+      results.push_back(accs[vi++].Finish());
+    } else {
+      results.push_back(errors[i]);
+    }
+  }
+  return results;
+}
+
+SnapshotPtr SnapshotHolder::Acquire() const {
+  for (;;) {
+    const uint32_t i = cur_.load();  // seq_cst, see class comment
+    const Slot& slot = slots_[i];
+    slot.pins.fetch_add(1);
+    if (cur_.load() == i) {
+      // Pin validated: a publisher targeting this slot either saw our
+      // pin (and waits) or already flipped cur_ (and the re-check would
+      // have failed). Safe to copy the shared_ptr.
+      SnapshotPtr snap = slot.snap;
+      slot.pins.fetch_sub(1);
+      return snap;
+    }
+    // A publish flipped slots between our load and pin; retry on the
+    // fresh slot.
+    slot.pins.fetch_sub(1);
+  }
+}
+
+void SnapshotHolder::Publish(SnapshotPtr snapshot) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  const uint32_t next = 1 - cur_.load();
+  Slot& slot = slots_[next];
+  // Drain readers still mid-copy on the idle slot (pinned before the
+  // PREVIOUS flip). Their critical section is a shared_ptr copy, so this
+  // spin is nanoseconds, and it is the only wait anywhere in the scheme —
+  // readers themselves never wait at all.
+  while (slot.pins.load() != 0) {
+    std::this_thread::yield();
+  }
+  slot.snap = std::move(snapshot);
+  cur_.store(next);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace hsgd::serve

@@ -1,0 +1,208 @@
+// Serving-side factor snapshots and their lock-free publication.
+//
+// A FactorSnapshot is an immutable, 64-byte-aligned copy of a trained
+// model's factor matrices plus everything a query needs that the raw
+// factors don't carry: the per-user rated-item exclusion lists (exactly
+// what Recommender excludes) and, when the ratings came from a real dump,
+// the raw<->dense id maps so results can be translated back to external
+// ids. Snapshots are captured from a live Session between epochs, from a
+// checkpoint file via the factors-only fast path (core/checkpoint.h's
+// ReadFactorSnapshot), or from any Model directly; once built they are
+// never mutated, so any number of threads may score against one without
+// coordination.
+//
+// SnapshotHolder is the publication point: a double-buffered, pin-counted
+// slot pair in the epoch/RCU style. Readers pin the current slot, copy
+// its shared_ptr (nanoseconds), unpin, and then score against their copy
+// for as long as they like; Publish installs the next snapshot into the
+// idle slot and flips an atomic index. Readers never take a lock and
+// never block on a refresh — a publish waits only for the handful of
+// readers mid-copy on the slot it is about to reuse, two publishes back.
+//
+// BatchTopK is the batched scoring stage: it answers many TopK queries
+// with ONE tile-major sweep of the item-factor matrix (each Q tile is
+// pulled from memory once and served to every query in the batch via
+// kernels' ScoreBlockBatch), while producing results bit-identical to
+// per-query Recommender::TopK — both feed the same TopKAccumulator in
+// the same tile order.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/recommender.h"
+#include "core/types.h"
+#include "io/loader.h"
+#include "util/aligned.h"
+#include "util/status.h"
+
+namespace hsgd {
+class Session;  // core/session.h
+}  // namespace hsgd
+
+namespace hsgd::serve {
+
+class FactorSnapshot;
+using SnapshotPtr = std::shared_ptr<const FactorSnapshot>;
+
+class FactorSnapshot {
+ public:
+  /// Deep-copies `model`'s factors (already stride-padded and aligned)
+  /// and indexes `rated` as the exclusion set. `users`/`items` (optional,
+  /// copied) translate raw external ids; pass the loader's IdMaps when
+  /// the ratings came from a real dump. `version` tags the snapshot for
+  /// observability and swap tests — callers pick any monotonic scheme.
+  static StatusOr<std::shared_ptr<const FactorSnapshot>> FromModel(
+      const Model& model, const Ratings& rated, uint64_t version,
+      const io::IdMap* users = nullptr, const io::IdMap* items = nullptr);
+
+  /// FromModel over a live session's current factors and its training
+  /// ratings. Call between epochs (the only time a session is quiescent);
+  /// the copy means the session can keep training while the snapshot
+  /// serves.
+  static StatusOr<std::shared_ptr<const FactorSnapshot>> FromSession(
+      const Session& session, uint64_t version);
+
+  /// Builds a snapshot from a checkpoint file via the factors-only fast
+  /// path — no Dataset, no Session rebuild. The checkpoint stores no
+  /// ratings, so the exclusion set (typically the training ratings) and
+  /// any id maps come from the caller; an empty `rated` serves the full
+  /// catalog to everyone.
+  static StatusOr<std::shared_ptr<const FactorSnapshot>> FromCheckpoint(
+      const std::string& path, const Ratings& rated,
+      uint64_t version, const io::IdMap* users = nullptr,
+      const io::IdMap* items = nullptr);
+
+  /// Core builder: dense row-major factors (num_users*k / num_items*k),
+  /// re-padded into aligned SIMD layout. InvalidArgument on size
+  /// mismatches or non-positive dimensions.
+  static StatusOr<std::shared_ptr<const FactorSnapshot>> FromDenseFactors(
+      const std::vector<float>& p, const std::vector<float>& q,
+      int32_t num_users, int32_t num_items, int k, const Ratings& rated,
+      uint64_t version, const io::IdMap* users = nullptr,
+      const io::IdMap* items = nullptr);
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+  int k() const { return k_; }
+  /// Padded row pitch in floats, as core/model.h lays factors out.
+  int stride() const { return stride_; }
+  uint64_t version() const { return version_; }
+
+  const float* UserRow(int32_t user) const {
+    return p_.get() + static_cast<int64_t>(user) * stride_;
+  }
+  const float* q_data() const { return q_.get(); }
+
+  const RatedIndex& rated_index() const { return rated_; }
+  int64_t NumRated(int32_t user) const { return rated_.NumRated(user); }
+
+  /// Raw-id translation. Snapshots built without id maps treat dense ids
+  /// as the external vocabulary (identity mapping).
+  bool has_id_maps() const { return has_id_maps_; }
+  /// Dense index for an external user id; NotFound for a cold user the
+  /// model has no factors for (a typed miss, never a crash).
+  StatusOr<int32_t> DenseUser(int64_t raw_user) const;
+  /// External id for a dense item index (identity without maps).
+  int64_t RawItem(int32_t dense_item) const {
+    return has_id_maps_ ? items_.Raw(dense_item)
+                        : static_cast<int64_t>(dense_item);
+  }
+
+ private:
+  FactorSnapshot() = default;
+
+  int32_t num_users_ = 0;
+  int32_t num_items_ = 0;
+  int k_ = 0;
+  int stride_ = 0;
+  uint64_t version_ = 0;
+  AlignedFloatPtr p_;
+  AlignedFloatPtr q_;
+  RatedIndex rated_;
+  bool has_id_maps_ = false;
+  io::IdMap users_;
+  io::IdMap items_;
+};
+
+/// One TopK query against a snapshot: dense user id and result size.
+struct TopKQuery {
+  int32_t user = 0;
+  int k = 0;
+};
+
+/// Answers `queries[0..n)` against one snapshot with a single tile-major
+/// sweep of the item factors. Per-query results are bit-identical to
+/// Recommender::TopK on the same factors/exclusions/kernel: same tile
+/// size, same score_block operands, same accumulator. Invalid queries
+/// (user out of range, k <= 0) get their own InvalidArgument entry
+/// without failing the batch. `ops` null means the auto-dispatched
+/// default; `scratch` (optional) is reused as the num-queries x tile
+/// score buffer so a serving worker allocates nothing per batch.
+std::vector<StatusOr<std::vector<ScoredItem>>> BatchTopK(
+    const FactorSnapshot& snapshot, const TopKQuery* queries, size_t n,
+    const KernelOps* ops = nullptr, std::vector<float>* scratch = nullptr);
+
+/// Lock-free snapshot publication: double-buffered slots with per-slot
+/// pin counts.
+///
+/// Read side (Acquire): load the current slot index, pin the slot,
+/// re-check the index, copy the shared_ptr, unpin. The re-check makes the
+/// pin safe: if a publish flipped slots between load and pin, the
+/// re-check fails and the reader retries on the fresh slot — it never
+/// dereferences a slot it hasn't validly pinned. Wait-free in practice
+/// (a retry needs a concurrent publish, which happens per refresh, not
+/// per query).
+///
+/// Write side (Publish): serialize publishers, wait for the pin count of
+/// the IDLE slot to drain (readers still mid-copy from two publishes
+/// ago — a nanoseconds-scale window), install the new snapshot there,
+/// flip the index. In-flight queries keep scoring against whatever
+/// shared_ptr they already copied; nothing is ever torn or freed early.
+///
+/// Every atomic here is seq_cst deliberately: the pin/re-check handshake
+/// is the hazard-pointer pattern, whose correctness argument needs the
+/// single total order (a publisher's drain-check must not read a stale
+/// pin count an acquire load would permit). This path runs once per
+/// batch and once per refresh — ordering cost is irrelevant.
+class SnapshotHolder {
+ public:
+  SnapshotHolder() = default;
+  explicit SnapshotHolder(SnapshotPtr initial) { Publish(std::move(initial)); }
+
+  SnapshotHolder(const SnapshotHolder&) = delete;
+  SnapshotHolder& operator=(const SnapshotHolder&) = delete;
+
+  /// The current snapshot (null only if nothing was ever published).
+  /// The returned shared_ptr keeps the snapshot alive for as long as the
+  /// caller holds it, across any number of subsequent publishes.
+  SnapshotPtr Acquire() const;
+
+  /// Atomically replace the served snapshot. Never blocks readers;
+  /// multiple publishers serialize among themselves.
+  void Publish(SnapshotPtr snapshot);
+
+  /// Publishes so far (0 = Acquire still returns null).
+  int64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    SnapshotPtr snap;
+    mutable std::atomic<int64_t> pins{0};
+  };
+
+  Slot slots_[2];
+  std::atomic<uint32_t> cur_{0};
+  std::atomic<int64_t> publishes_{0};
+  std::mutex publish_mu_;
+};
+
+}  // namespace hsgd::serve

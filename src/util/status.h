@@ -15,6 +15,10 @@ enum class StatusCode {
   kNotFound = 2,
   kInternal = 3,
   kFailedPrecondition = 4,
+  /// The serving layer's typed load-shedding outcomes: a request held
+  /// past its latency budget vs one rejected before it ever queued.
+  kDeadlineExceeded = 5,
+  kUnavailable = 6,
 };
 
 class Status {
@@ -36,6 +40,12 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -50,6 +60,8 @@ class Status {
       case StatusCode::kNotFound: name = "NOT_FOUND"; break;
       case StatusCode::kInternal: name = "INTERNAL"; break;
       case StatusCode::kFailedPrecondition: name = "FAILED_PRECONDITION"; break;
+      case StatusCode::kDeadlineExceeded: name = "DEADLINE_EXCEEDED"; break;
+      case StatusCode::kUnavailable: name = "UNAVAILABLE"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -1,0 +1,405 @@
+// Serving subsystem tests: snapshot publication under concurrent readers
+// (never a torn model mix), batched TopK bit-identical to the sequential
+// facade, deadline shedding accounted exactly, and cold users answered
+// with a typed Status instead of a crash.
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/model.h"
+#include "core/recommender.h"
+#include "io/loader.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "test_main.h"
+
+namespace hsgd {
+namespace {
+
+using serve::FactorSnapshot;
+using serve::RecServer;
+using serve::ServeConfig;
+using serve::SnapshotHolder;
+using serve::SnapshotPtr;
+using serve::TopKQuery;
+using serve::TopKRequest;
+
+/// A model where score(u, v) == weight for EVERY (u, v): p_u = (1, 0),
+/// q_v = (weight, 0). A snapshot built from it answers every query with
+/// scores uniformly equal to `weight`, so any mixing of two snapshots
+/// inside one response is detectable as non-uniform scores.
+SnapshotPtr UniformSnapshot(int32_t num_users, int32_t num_items,
+                            float weight, uint64_t version) {
+  Model model(num_users, num_items, /*k=*/2);
+  for (int32_t u = 0; u < num_users; ++u) model.Row(u)[0] = 1.0f;
+  for (int32_t v = 0; v < num_items; ++v) model.Col(v)[0] = weight;
+  auto snap = FactorSnapshot::FromModel(model, {}, version);
+  EXPECT_TRUE(snap.ok());
+  return snap.ok() ? *snap : nullptr;
+}
+
+/// Deterministic pseudo-random factors (tiny LCG; no libm, no RNG state
+/// shared with anything else).
+float NextFloat(uint32_t* state) {
+  *state = *state * 1664525u + 1013904223u;
+  return static_cast<float>(*state >> 8) / 16777216.0f * 2.0f - 1.0f;
+}
+
+void TestSnapshotSwapUnderConcurrentReaders() {
+  SnapshotHolder holder;
+  const int kVersions = 2;
+  SnapshotPtr snaps[kVersions] = {
+      UniformSnapshot(4, 64, 1.0f, 1),
+      UniformSnapshot(4, 64, 2.0f, 2),
+  };
+  holder.Publish(snaps[0]);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> bad{0};
+  std::atomic<int64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      std::vector<float> scratch;
+      while (!stop.load(std::memory_order_relaxed)) {
+        SnapshotPtr snap = holder.Acquire();
+        if (snap == nullptr) {
+          bad.fetch_add(1);
+          continue;
+        }
+        // The snapshot a reader pinned must be internally consistent:
+        // its version tags the weight every score must equal, even while
+        // the publisher flips slots underneath us.
+        const float want = static_cast<float>(snap->version());
+        TopKQuery query{0, 8};
+        auto results = serve::BatchTopK(*snap, &query, 1, nullptr, &scratch);
+        if (!results[0].ok()) {
+          bad.fetch_add(1);
+          continue;
+        }
+        for (const ScoredItem& item : *results[0]) {
+          if (item.score != want) bad.fetch_add(1);
+        }
+        reads.fetch_add(1);
+      }
+    });
+  }
+
+  for (int i = 0; i < 2000; ++i) {
+    holder.Publish(snaps[i % kVersions]);
+  }
+  stop.store(true);
+  for (auto& thread : readers) thread.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_LT(0, reads.load());
+  // 1 initial + 2000 in the loop.
+  EXPECT_EQ(holder.publishes(), 2001);
+  // The last published snapshot is the one served now.
+  SnapshotPtr last = holder.Acquire();
+  EXPECT_TRUE(last != nullptr);
+  if (last != nullptr) EXPECT_EQ(last->version(), 2u);
+}
+
+void TestBatchedMatchesSequentialBitwise() {
+  const int32_t kUsers = 6;
+  const int32_t kItems = 3000;  // spans 3 tiles of kTopKTile
+  const int kRank = 24;
+  Model model(kUsers, kItems, kRank);
+  uint32_t state = 42;
+  for (int32_t u = 0; u < kUsers; ++u) {
+    for (int f = 0; f < kRank; ++f) model.Row(u)[f] = NextFloat(&state);
+  }
+  for (int32_t v = 0; v < kItems; ++v) {
+    for (int f = 0; f < kRank; ++f) model.Col(v)[f] = NextFloat(&state);
+  }
+  Ratings rated;
+  for (int32_t u = 0; u < kUsers; ++u) {
+    for (int32_t v = u; v < kItems; v += 7 + u) rated.push_back({u, v, 1.0f});
+  }
+
+  Recommender rec(&model, rated);
+  auto snap = FactorSnapshot::FromModel(model, rated, /*version=*/7);
+  EXPECT_TRUE(snap.ok());
+  if (!snap.ok()) return;
+
+  std::vector<TopKQuery> queries;
+  for (int32_t u = 0; u < kUsers; ++u) queries.push_back({u, 10 + u});
+  std::vector<float> scratch;
+  auto batched =
+      serve::BatchTopK(**snap, queries.data(), queries.size(), nullptr,
+                       &scratch);
+  EXPECT_EQ(batched.size(), queries.size());
+
+  std::vector<float> buffer;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto sequential = rec.TopK(queries[i].user, queries[i].k, &buffer);
+    EXPECT_TRUE(sequential.ok());
+    EXPECT_TRUE(batched[i].ok());
+    if (!sequential.ok() || !batched[i].ok()) continue;
+    EXPECT_EQ(batched[i]->size(), sequential->size());
+    if (batched[i]->size() != sequential->size()) continue;
+    for (size_t r = 0; r < sequential->size(); ++r) {
+      EXPECT_EQ((*batched[i])[r].item, (*sequential)[r].item);
+      // Bitwise, not approximate: both paths issue identical score_block
+      // calls, so the floats must be the same bits.
+      EXPECT_EQ(std::memcmp(&(*batched[i])[r].score,
+                            &(*sequential)[r].score, sizeof(float)),
+                0);
+    }
+  }
+
+  // The buffer overload agrees with the allocating one.
+  auto plain = rec.TopK(2, 12);
+  auto buffered = rec.TopK(2, 12, &buffer);
+  EXPECT_TRUE(plain.ok());
+  EXPECT_TRUE(buffered.ok());
+  if (plain.ok() && buffered.ok()) {
+    EXPECT_EQ(plain->size(), buffered->size());
+    for (size_t r = 0; r < plain->size(); ++r) {
+      EXPECT_EQ((*plain)[r].item, (*buffered)[r].item);
+      EXPECT_EQ((*plain)[r].score, (*buffered)[r].score);
+    }
+  }
+}
+
+void TestServerAnswersMatchFacade() {
+  const int32_t kUsers = 8;
+  const int32_t kItems = 500;
+  Model model(kUsers, kItems, 8);
+  uint32_t state = 7;
+  for (int32_t u = 0; u < kUsers; ++u) {
+    for (int f = 0; f < 8; ++f) model.Row(u)[f] = NextFloat(&state);
+  }
+  for (int32_t v = 0; v < kItems; ++v) {
+    for (int f = 0; f < 8; ++f) model.Col(v)[f] = NextFloat(&state);
+  }
+  Ratings rated = {{0, 3, 1.0f}, {0, 4, 1.0f}, {5, 100, 1.0f}};
+  Recommender rec(&model, rated);
+  auto snap = FactorSnapshot::FromModel(model, rated, 1);
+  EXPECT_TRUE(snap.ok());
+  if (!snap.ok()) return;
+
+  ServeConfig config;
+  config.shards = 2;
+  auto server = RecServer::Create(config, *snap);
+  EXPECT_TRUE(server.ok());
+  if (!server.ok()) return;
+
+  // Overlapped submits across shards; every answer must equal the facade.
+  std::vector<std::future<StatusOr<serve::TopKResponse>>> futures;
+  for (int32_t u = 0; u < kUsers; ++u) {
+    TopKRequest request;
+    request.user = u;
+    request.k = 9;
+    futures.push_back((*server)->Submit(request));
+  }
+  for (int32_t u = 0; u < kUsers; ++u) {
+    auto response = futures[u].get();
+    EXPECT_TRUE(response.ok());
+    if (!response.ok()) continue;
+    EXPECT_EQ(response->snapshot_version, 1u);
+    auto expected = rec.TopK(u, 9);
+    EXPECT_TRUE(expected.ok());
+    if (!expected.ok()) continue;
+    EXPECT_EQ(response->items.size(), expected->size());
+    if (response->items.size() != expected->size()) continue;
+    for (size_t r = 0; r < expected->size(); ++r) {
+      EXPECT_EQ(response->items[r].item, (*expected)[r].item);
+      EXPECT_EQ(response->items[r].score, (*expected)[r].score);
+    }
+  }
+
+  (*server)->Shutdown();
+  auto counters = (*server)->counters();
+  EXPECT_EQ(counters.requests, kUsers);
+  EXPECT_EQ(counters.ok, kUsers);
+  EXPECT_EQ(counters.shed_deadline, 0);
+  EXPECT_EQ(counters.rejected, 0);
+  // Post-shutdown submits are rejected, typed Unavailable.
+  auto late = (*server)->Query({0, false, 3});
+  EXPECT_TRUE(late.status().code() == StatusCode::kUnavailable);
+}
+
+void TestMidLoadSwapNeverTorn() {
+  SnapshotPtr snaps[2] = {
+      UniformSnapshot(16, 256, 1.0f, 1),
+      UniformSnapshot(16, 256, 2.0f, 2),
+  };
+  ServeConfig config;
+  config.shards = 4;
+  config.max_batch = 8;
+  auto server = RecServer::Create(config, snaps[0]);
+  EXPECT_TRUE(server.ok());
+  if (!server.ok()) return;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> bad{0};
+  std::atomic<int64_t> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      int32_t user = c % 16;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto response = (*server)->Query({user, false, 5});
+        if (!response.ok()) {
+          bad.fetch_add(1);
+          continue;
+        }
+        // Every score in one response must match the version that claims
+        // to have produced it — a mixed response means a torn swap.
+        const float want = static_cast<float>(response->snapshot_version);
+        if (response->snapshot_version != 1 &&
+            response->snapshot_version != 2) {
+          bad.fetch_add(1);
+        }
+        for (const ScoredItem& item : response->items) {
+          if (item.score != want) bad.fetch_add(1);
+        }
+        answered.fetch_add(1);
+        user = (user + 3) % 16;
+      }
+    });
+  }
+  for (int i = 0; i < 500; ++i) {
+    (*server)->Publish(snaps[(i + 1) % 2]);
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& thread : clients) thread.join();
+  (*server)->Shutdown();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_LT(0, answered.load());
+  auto counters = (*server)->counters();
+  EXPECT_EQ(counters.ok, answered.load());
+  EXPECT_EQ(counters.publishes, 501);  // initial + 500 swaps
+}
+
+void TestDeadlineSheddingCountsExactly() {
+  SnapshotPtr snap = UniformSnapshot(4, 2048, 1.0f, 1);
+  ServeConfig config;
+  config.shards = 1;
+  config.max_batch = 1;  // one query per sweep: the queue builds up
+  config.max_queue = 0;  // unbounded, so nothing is rejected
+  config.latency_budget_s = 1e-9;  // everything queued is over budget
+  auto server = RecServer::Create(config, snap);
+  EXPECT_TRUE(server.ok());
+  if (!server.ok()) return;
+
+  const int kRequests = 256;
+  std::vector<std::future<StatusOr<serve::TopKResponse>>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back((*server)->Submit({i % 4, false, 10}));
+  }
+  int64_t ok = 0, shed = 0, other = 0;
+  for (auto& future : futures) {
+    auto response = future.get();
+    if (response.ok()) {
+      ++ok;
+    } else if (response.status().code() == StatusCode::kDeadlineExceeded) {
+      ++shed;
+    } else {
+      ++other;
+    }
+  }
+  (*server)->Shutdown();
+
+  EXPECT_EQ(other, 0);
+  EXPECT_EQ(ok + shed, kRequests);
+  EXPECT_LT(0, shed);  // a 1ns budget must shed under a 256-deep backlog
+  auto counters = (*server)->counters();
+  EXPECT_EQ(counters.requests, kRequests);
+  EXPECT_EQ(counters.ok, ok);
+  EXPECT_EQ(counters.shed_deadline, shed);
+  EXPECT_EQ(counters.rejected, 0);
+  // Anything that did complete took far longer than 1ns end to end.
+  EXPECT_EQ(counters.deadline_miss, ok);
+}
+
+void TestColdUserIsTypedNotFatal() {
+  // A snapshot with real id maps: raw user ids 100/200/300.
+  io::IdMap users, items;
+  users.Assign(100);
+  users.Assign(200);
+  users.Assign(300);
+  for (int64_t raw = 1000; raw < 1008; ++raw) items.Assign(raw);
+  std::vector<float> p(3 * 4), q(8 * 4);
+  for (size_t i = 0; i < p.size(); ++i) p[i] = 0.5f;
+  for (size_t i = 0; i < q.size(); ++i) q[i] = 0.25f;
+  auto snap = FactorSnapshot::FromDenseFactors(p, q, 3, 8, 4, {}, 1,
+                                               &users, &items);
+  EXPECT_TRUE(snap.ok());
+  if (!snap.ok()) return;
+  EXPECT_TRUE((*snap)->has_id_maps());
+
+  auto server = RecServer::Create(ServeConfig{}, *snap);
+  EXPECT_TRUE(server.ok());
+  if (!server.ok()) return;
+
+  // Known raw user resolves and translates items back to raw ids.
+  auto warm = (*server)->Query({200, /*raw=*/true, 3});
+  EXPECT_TRUE(warm.ok());
+  if (warm.ok()) {
+    EXPECT_EQ(warm->items.size(), 3u);
+    EXPECT_EQ(warm->raw_items.size(), 3u);
+    for (int64_t raw : warm->raw_items) {
+      EXPECT_TRUE(raw >= 1000 && raw < 1008);
+    }
+  }
+
+  // A raw id the model never trained on: typed NotFound, server intact.
+  auto cold = (*server)->Query({12345, /*raw=*/true, 3});
+  EXPECT_TRUE(cold.status().code() == StatusCode::kNotFound);
+  // Dense queries out of range are InvalidArgument, also non-fatal.
+  auto oob = (*server)->Query({99, /*raw=*/false, 3});
+  EXPECT_TRUE(oob.status().code() == StatusCode::kInvalidArgument);
+
+  // The server still answers after the failures.
+  auto again = (*server)->Query({100, /*raw=*/true, 2});
+  EXPECT_TRUE(again.ok());
+  auto counters = (*server)->counters();
+  EXPECT_EQ(counters.cold_users, 1);
+  EXPECT_EQ(counters.invalid, 1);
+  EXPECT_EQ(counters.ok, 2);
+}
+
+void TestCreateValidatesConfigAndEmptyHolder() {
+  ServeConfig bad_shards;
+  bad_shards.shards = 0;
+  EXPECT_FALSE(RecServer::Create(bad_shards, nullptr).ok());
+  ServeConfig bad_batch;
+  bad_batch.max_batch = 0;
+  EXPECT_FALSE(RecServer::Create(bad_batch, nullptr).ok());
+
+  // No snapshot published yet: queries fail Unavailable until Publish.
+  auto server = RecServer::Create(ServeConfig{}, nullptr);
+  EXPECT_TRUE(server.ok());
+  if (!server.ok()) return;
+  auto response = (*server)->Query({0, false, 3});
+  EXPECT_TRUE(response.status().code() == StatusCode::kUnavailable);
+  (*server)->Publish(UniformSnapshot(2, 8, 1.0f, 9));
+  auto after = (*server)->Query({0, false, 3});
+  EXPECT_TRUE(after.ok());
+  if (after.ok()) EXPECT_EQ(after->snapshot_version, 9u);
+}
+
+}  // namespace
+
+void RunAllTests() {
+  TestSnapshotSwapUnderConcurrentReaders();
+  TestBatchedMatchesSequentialBitwise();
+  TestServerAnswersMatchFacade();
+  TestMidLoadSwapNeverTorn();
+  TestDeadlineSheddingCountsExactly();
+  TestColdUserIsTypedNotFatal();
+  TestCreateValidatesConfigAndEmptyHolder();
+}
+
+}  // namespace hsgd
+
+using hsgd::RunAllTests;
+TEST_MAIN()
