@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/parallel_reduce.h"
@@ -17,9 +18,13 @@ Model::Model(int32_t num_rows, int32_t num_cols, int k)
       p_(AllocateAlignedFloats(static_cast<size_t>(num_rows) * stride_)),
       q_(AllocateAlignedFloats(static_cast<size_t>(num_cols) * stride_)) {}
 
-void Model::InitRandom(Rng* rng, double mean_rating) {
+namespace {
+
+// Shared by InitRandom and Grow so cold-start rows added later draw from
+// the same range a fresh init would have used.
+float InitRange(int k, double mean_rating) {
   if (mean_rating < 0.0) mean_rating = 0.0;
-  float hi = 2.0f * std::sqrt(static_cast<float>(mean_rating) / k_);
+  float hi = 2.0f * std::sqrt(static_cast<float>(mean_rating) / k);
   if (!(hi > 0.0f)) {
     // An all-zero init can never train: every gradient is zero. Seed the
     // factors with a small positive range instead.
@@ -29,6 +34,13 @@ void Model::InitRandom(Rng* rng, double mean_rating) {
                       << 0.0f << ", " << kInitFloor << ")";
     hi = kInitFloor;
   }
+  return hi;
+}
+
+}  // namespace
+
+void Model::InitRandom(Rng* rng, double mean_rating) {
+  const float hi = InitRange(k_, mean_rating);
   // Fill only the logical k lanes of each row — the padding must stay
   // zero — drawing in the same row-major order as the dense layout so
   // seeds reproduce the same factors at any stride.
@@ -39,6 +51,40 @@ void Model::InitRandom(Rng* rng, double mean_rating) {
   for (int32_t v = 0; v < num_cols_; ++v) {
     float* col = Col(v);
     for (int i = 0; i < k_; ++i) col[i] = rng->NextFloat() * hi;
+  }
+}
+
+void Model::Grow(int32_t new_rows, int32_t new_cols, Rng* rng,
+                 double mean_rating) {
+  HSGD_CHECK(new_rows >= num_rows_ && new_cols >= num_cols_);
+  if (new_rows == num_rows_ && new_cols == num_cols_) return;
+  const float hi = InitRange(k_, mean_rating);
+  // AllocateAlignedFloats zero-fills, so the padding lanes of the new
+  // rows hold the kernel invariant without an explicit pass; only the k
+  // logical lanes of each cold row are drawn. Rows first, then cols, in
+  // the same order InitRandom fills, so growth consumes the rng stream
+  // deterministically.
+  if (new_rows > num_rows_) {
+    AlignedFloatPtr grown =
+        AllocateAlignedFloats(static_cast<size_t>(new_rows) * stride_);
+    std::memcpy(grown.get(), p_.get(), sizeof(float) * p_size());
+    for (int32_t u = num_rows_; u < new_rows; ++u) {
+      float* row = grown.get() + static_cast<int64_t>(u) * stride_;
+      for (int i = 0; i < k_; ++i) row[i] = rng->NextFloat() * hi;
+    }
+    p_ = std::move(grown);
+    num_rows_ = new_rows;
+  }
+  if (new_cols > num_cols_) {
+    AlignedFloatPtr grown =
+        AllocateAlignedFloats(static_cast<size_t>(new_cols) * stride_);
+    std::memcpy(grown.get(), q_.get(), sizeof(float) * q_size());
+    for (int32_t v = num_cols_; v < new_cols; ++v) {
+      float* col = grown.get() + static_cast<int64_t>(v) * stride_;
+      for (int i = 0; i < k_; ++i) col[i] = rng->NextFloat() * hi;
+    }
+    q_ = std::move(grown);
+    num_cols_ = new_cols;
   }
 }
 

@@ -34,6 +34,16 @@ class Model {
   /// positive floor instead, with a warning.
   void InitRandom(Rng* rng, double mean_rating);
 
+  /// Grow to `new_rows` x `new_cols` (each must be >= the current dim).
+  /// Existing factor rows are copied bit-identically into fresh aligned
+  /// storage with the same PaddedStride pitch; new rows/cols are drawn
+  /// from `rng` with the same [0, hi) range InitRandom would use for
+  /// `mean_rating`, so cold entities start statistically like warm ones
+  /// did. Padding lanes of every row — old and new — stay zero. Invalidates
+  /// all Row()/Col()/p_data()/q_data() pointers.
+  void Grow(int32_t new_rows, int32_t new_cols, Rng* rng,
+            double mean_rating);
+
   int32_t num_rows() const { return num_rows_; }
   int32_t num_cols() const { return num_cols_; }
   int k() const { return k_; }

@@ -336,6 +336,10 @@ Status Session::Init() {
   worker_dead_.assign(workers_.size(), 0);
   workers_alive_ = static_cast<int>(workers_.size());
   retry_rng_ = Rng(config_.seed, 23);
+  growth_rng_ = Rng(config_.seed, 29);
+  rating_sum_ = train_stats.mean_rating * static_cast<double>(n);
+  rating_count_ = n;
+  dirty_.assign(static_cast<size_t>(matrix_.num_blocks()), 0);
 
   wall_seconds_ += wall.Seconds();
   return Status::Ok();
@@ -486,6 +490,26 @@ void Session::NotifyTargetReached(const TracePoint& point) {
 }
 
 StatusOr<TracePoint> Session::RunEpoch() {
+  std::unique_lock<std::mutex> quiesce(epoch_mu_);
+  return RunEpochImpl(std::move(quiesce), nullptr);
+}
+
+StatusOr<TracePoint> Session::RunIncrementalEpoch() {
+  std::unique_lock<std::mutex> quiesce(epoch_mu_);
+  std::vector<int> blocks;
+  for (size_t b = 0; b < dirty_.size(); ++b) {
+    if (dirty_[b]) blocks.push_back(static_cast<int>(b));
+  }
+  if (blocks.empty()) {
+    return Status::FailedPrecondition(
+        "no appended ratings pending an incremental epoch");
+  }
+  return RunEpochImpl(std::move(quiesce), &blocks);
+}
+
+StatusOr<TracePoint> Session::RunEpochImpl(
+    std::unique_lock<std::mutex> quiesce, const std::vector<int>* subset) {
+  HSGD_CHECK(quiesce.owns_lock());
   if (Done()) {
     return Status::FailedPrecondition(
         failed_ ? "session permanently failed after device loss"
@@ -502,7 +526,11 @@ StatusOr<TracePoint> Session::RunEpoch() {
   const Grid& grid = matrix_.grid();
 
   NotifyEpochBegin(epoch);
-  scheduler_->BeginEpoch();
+  if (subset == nullptr) {
+    scheduler_->BeginEpoch();
+  } else {
+    scheduler_->BeginEpochSubset(*subset);
+  }
   const SimTime epoch_start = clock_;
   const double deadline_factor = config_.fault.lease_deadline_factor;
 
@@ -1034,13 +1062,77 @@ StatusOr<TracePoint> Session::RunEpoch() {
     }
   }
 
+  // Any successful epoch sweeps every dirty block (a full epoch covers
+  // them trivially; a subset epoch was built from them), so the pending
+  // append debt is paid either way.
+  if (!dirty_.empty()) std::fill(dirty_.begin(), dirty_.end(), 0);
+  pending_nnz_ = 0;
+
   wall_seconds_ += wall.Seconds();
+  // The barrier drops before observers fire: the factors are settled for
+  // this epoch, so an OnEpochEnd callback may VisitQuiesced (e.g. publish
+  // a serving snapshot) without deadlocking or tearing.
+  quiesce.unlock();
   // Metrics are current before observers fire, so an OnEpochEnd callback
   // reading session.metrics() sees this epoch, not the previous one.
   ExportBarrierMetrics(point);
   NotifyEpochEnd(point);
   if (reached_now) NotifyTargetReached(point);
   return point;
+}
+
+Status Session::AppendRatings(const Ratings& ratings) {
+  std::lock_guard<std::mutex> quiesce(epoch_mu_);
+  if (ratings.empty()) return Status::Ok();
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "session permanently failed after device loss");
+  }
+  int32_t new_rows = dataset_.num_rows;
+  int32_t new_cols = dataset_.num_cols;
+  for (const Rating& rt : ratings) {
+    if (rt.u < 0 || rt.v < 0) {
+      return Status::InvalidArgument(
+          StrFormat("appended rating has negative id (%d, %d)", rt.u,
+                    rt.v));
+    }
+    new_rows = std::max(new_rows, rt.u + 1);
+    new_cols = std::max(new_cols, rt.v + 1);
+  }
+  // Fold the arrivals into the running mean BEFORE drawing cold factors,
+  // so a cold row's init range reflects the data that introduced it.
+  for (const Rating& rt : ratings) {
+    rating_sum_ += static_cast<double>(rt.r);
+  }
+  rating_count_ += static_cast<int64_t>(ratings.size());
+  model_->Grow(new_rows, new_cols, &growth_rng_,
+               rating_sum_ / static_cast<double>(rating_count_));
+  HSGD_RETURN_IF_ERROR(
+      matrix_.AppendGrown(ratings, new_rows, new_cols, &dirty_));
+  dataset_.train.insert(dataset_.train.end(), ratings.begin(),
+                        ratings.end());
+  dataset_.num_rows = new_rows;
+  dataset_.num_cols = new_cols;
+  appended_nnz_ += static_cast<int64_t>(ratings.size());
+  pending_nnz_ += static_cast<int64_t>(ratings.size());
+  return Status::Ok();
+}
+
+Status Session::VisitQuiesced(const std::function<Status()>& fn) const {
+  std::unique_lock<std::mutex> quiesce(epoch_mu_, std::try_to_lock);
+  if (!quiesce.owns_lock()) {
+    return Status::FailedPrecondition(
+        "session is mid-epoch: factors are being mutated; retry at the "
+        "epoch barrier");
+  }
+  return fn();
+}
+
+int Session::pending_dirty_blocks() const {
+  std::lock_guard<std::mutex> quiesce(epoch_mu_);
+  int count = 0;
+  for (uint8_t d : dirty_) count += d != 0 ? 1 : 0;
+  return count;
 }
 
 Status Session::RunToCompletion() {
@@ -1058,6 +1150,7 @@ TrainStats Session::stats() const {
   stats.sim.stolen_by_gpus = scheduler_->stolen_by_gpus();
   stats.sim.stolen_by_cpus = scheduler_->stolen_by_cpus();
   stats.sim.block_tasks = total_tasks_;
+  stats.sim.nnz_processed = total_nnz_processed_;
   switch (config_.algorithm) {
     case Algorithm::kCpuOnly: stats.sim.alpha = 0.0; break;
     case Algorithm::kGpuOnly: stats.sim.alpha = 1.0; break;

@@ -21,7 +21,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -196,6 +198,10 @@ struct SimStats {
   /// heterogeneous devices, low under HSGD*'s equal-time blocks).
   double update_rate_cv = 0.0;
   int64_t block_tasks = 0;
+  /// Total SGD updates applied (one per rating visit), across full and
+  /// incremental epochs — the equal-update-count axis for comparing
+  /// online refresh against full retrain.
+  int64_t nnz_processed = 0;
 };
 
 /// Wall-clock statistics: real time this process spent inside
@@ -283,6 +289,44 @@ class Session {
   /// Trainer::Train loop.
   Status RunToCompletion();
 
+  // ---- Online training (stream ingestion) -------------------------------
+  //
+  // The append path grows the session in place: new dense ids extend the
+  // model's factor storage (cold rows drawn from the running mean-rating
+  // init range), the grid's trailing strata absorb the new index space
+  // (block count — and therefore the scheduler — is invariant), and the
+  // touched blocks are marked dirty for the next incremental epoch.
+  // Thread safety: appends, epochs, and VisitQuiesced all serialize on
+  // the epoch barrier, so a snapshot can never observe factors mid-write.
+
+  /// Append ratings (dense ids, as produced by io::IdMap::Assign) to the
+  /// training set. Ids beyond the current dimensions grow the model and
+  /// grid; ratings land at their block's tail in arrival order. Blocks
+  /// while an epoch is in flight on another thread. InvalidArgument on
+  /// negative ids (nothing is mutated).
+  Status AppendRatings(const Ratings& ratings);
+
+  /// Advance one incremental epoch over ONLY the blocks dirtied by
+  /// AppendRatings since the last epoch. Counts as a normal epoch: it
+  /// consumes epoch budget, pushes a TracePoint (RMSE over the full
+  /// grown dataset), and decays the learning rate on the shared
+  /// schedule. FailedPrecondition when nothing is pending or Done().
+  StatusOr<TracePoint> RunIncrementalEpoch();
+
+  /// Run `fn` while the session is guaranteed quiescent (no epoch in
+  /// flight, no append mutating the factors). Never blocks: if training
+  /// holds the barrier, fails fast with FailedPrecondition instead —
+  /// callers retry at the next epoch boundary. This is the gate that
+  /// makes serve::FactorSnapshot::FromSession torn-read-safe.
+  Status VisitQuiesced(const std::function<Status()>& fn) const;
+
+  /// Blocks dirtied by appends and not yet swept by an epoch.
+  int pending_dirty_blocks() const;
+  /// Appended ratings not yet covered by any epoch (staleness numerator).
+  int64_t pending_nnz() const { return pending_nnz_; }
+  /// Ratings appended over the session's lifetime.
+  int64_t appended_nnz() const { return appended_nnz_; }
+
   /// True when the epoch budget is exhausted or (under
   /// config.use_dataset_target) the dataset's target RMSE was reached.
   bool Done() const;
@@ -367,6 +411,13 @@ class Session {
   /// overwrites the evolving state from the checkpoint.
   Status Init();
   Status InstallCheckpoint(const SessionCheckpoint& checkpoint);
+
+  /// Shared epoch body. `subset` selects the pending blocks (null = all,
+  /// the classic RunEpoch). Takes ownership of the held epoch barrier;
+  /// releases it after the trace point is recorded but before observers
+  /// fire, so an OnEpochEnd callback may legally VisitQuiesced.
+  StatusOr<TracePoint> RunEpochImpl(std::unique_lock<std::mutex> quiesce,
+                                    const std::vector<int>* subset);
 
   void NotifyEpochBegin(int epoch);
   void NotifyEpochEnd(const TracePoint& point);
@@ -462,6 +513,25 @@ class Session {
   /// Jitter stream for checkpoint-retry backoff (stream 23); consumed
   /// only on IO failures, so fault-free runs never touch it.
   Rng retry_rng_{0, 23};
+
+  // ---- Online-append state (runtime, never checkpointed) --------------
+  /// The epoch barrier: held for the whole of RunEpochImpl (the factor
+  /// buffers may be reallocated by a concurrent append, so even reads
+  /// must exclude epochs) and by AppendRatings; try-locked by
+  /// VisitQuiesced.
+  mutable std::mutex epoch_mu_;
+  /// Per-block dirty bits set by AppendRatings, cleared by any
+  /// successful epoch (a full sweep covers every dirty block too).
+  std::vector<uint8_t> dirty_;
+  int64_t appended_nnz_ = 0;
+  int64_t pending_nnz_ = 0;
+  /// Running rating moments so cold-start factor init uses the mean of
+  /// everything seen so far, matching what InitRandom would have drawn.
+  double rating_sum_ = 0.0;
+  int64_t rating_count_ = 0;
+  /// Cold-row init stream (stream 29), disjoint from the model-init
+  /// stream so appends never perturb the base initialization.
+  Rng growth_rng_{0, 29};
 
   std::vector<EpochObserver*> observers_;
 

@@ -178,6 +178,28 @@ struct ParseContext {
   int64_t max_bad = 0;
 };
 
+/// Resolve LoadOptions' rating bounds against the format defaults. NaN
+/// counts as "unset" too — a NaN bound would otherwise make every range
+/// comparison false and silently disable validation.
+void ResolveRatingRange(DataFormat format, const LoadOptions& options,
+                        double* min_rating, double* max_rating) {
+  *min_rating = options.min_rating;
+  *max_rating = options.max_rating;
+  if (*min_rating == LoadOptions::kFormatDefault ||
+      std::isnan(*min_rating)) {
+    *min_rating = format == DataFormat::kMovieLens ? 0.0
+                  : format == DataFormat::kNetflix
+                      ? 1.0
+                      : -std::numeric_limits<double>::infinity();
+  }
+  if (*max_rating == LoadOptions::kFormatDefault ||
+      std::isnan(*max_rating)) {
+    *max_rating = format == DataFormat::kCsv
+                      ? std::numeric_limits<double>::infinity()
+                      : 5.0;
+  }
+}
+
 /// Record a malformed line, honoring the per-shard cap (see
 /// ShardResult::bad). `size <= max_bad` admits max_bad + 1 entries
 /// without ever computing max_bad + 1 (which could overflow).
@@ -369,23 +391,7 @@ Status ParseFile(const std::string& path, DataFormat format,
   ctx.path = path;
   ctx.format = format;
   ctx.max_bad = std::max<int64_t>(0, options.max_bad_lines);
-  ctx.min_rating = options.min_rating;
-  ctx.max_rating = options.max_rating;
-  // NaN counts as "unset" too — a NaN bound would otherwise make every
-  // range comparison false and silently disable validation.
-  if (ctx.min_rating == LoadOptions::kFormatDefault ||
-      std::isnan(ctx.min_rating)) {
-    ctx.min_rating = format == DataFormat::kMovieLens ? 0.0
-                     : format == DataFormat::kNetflix
-                         ? 1.0
-                         : -std::numeric_limits<double>::infinity();
-  }
-  if (ctx.max_rating == LoadOptions::kFormatDefault ||
-      std::isnan(ctx.max_rating)) {
-    ctx.max_rating = format == DataFormat::kCsv
-                         ? std::numeric_limits<double>::infinity()
-                         : 5.0;
-  }
+  ResolveRatingRange(format, options, &ctx.min_rating, &ctx.max_rating);
 
   size_t offset = 0;
   int64_t start_line = 1;
@@ -616,6 +622,110 @@ StatusOr<Dataset> LoadDataset(const std::string& path, DataFormat format,
   }
   return MakeDataset(std::move(train), std::move(test), data->users.size(),
                      data->items.size(), params, options.target_rmse);
+}
+
+// ---- StreamParser ---------------------------------------------------------
+
+StreamParser::StreamParser(DataFormat format, const LoadOptions& options,
+                           std::string source)
+    : format_(format),
+      source_(std::move(source)),
+      max_bad_(std::max<int64_t>(0, options.max_bad_lines)) {
+  ResolveRatingRange(format, options, &min_rating_, &max_rating_);
+  // Netflix dumps never carry CSV headers; skip the first-line check so a
+  // leading "123:" section header is not misread as one.
+  if (format_ == DataFormat::kNetflix) header_pending_ = false;
+}
+
+Status StreamParser::ChargeBadLine(int64_t line, std::string detail) {
+  // Budget charged strictly in line order — a stream sees lines in order
+  // by construction, so this matches ParseFile's sorted-merge accounting
+  // exactly: the (max_bad + 1)-th bad line is the one that fails.
+  if (report_.total >= max_bad_) {
+    failed_ = LineError(source_, line, detail);
+    return failed_;
+  }
+  ++report_.total;
+  if (static_cast<int>(report_.sample.size()) < BadLineReport::kMaxSample) {
+    report_.sample.push_back({source_, line, std::move(detail)});
+  }
+  return Status::Ok();
+}
+
+Status StreamParser::ConsumeLine(const char* begin, const char* end,
+                                 std::vector<RawRating>* out) {
+  const int64_t line = line_++;
+  TrimLine(&begin, &end);
+  if (header_pending_) {
+    header_pending_ = false;
+    if (FirstLineIsHeader(std::string(begin, end))) return Status::Ok();
+  }
+  if (begin == end) return Status::Ok();
+  int64_t item;
+  if (format_ == DataFormat::kNetflix &&
+      ParseSectionHeader(begin, end, &item)) {
+    carry_item_ = item;
+    return Status::Ok();
+  }
+
+  // One-line shard through the shared grammar: identical field splitting,
+  // id/rating parsing and range checks as the batch loader's shards.
+  ParseContext ctx;
+  ctx.text = nullptr;
+  ctx.path = source_;
+  ctx.format = format_;
+  ctx.min_rating = min_rating_;
+  ctx.max_rating = max_rating_;
+  ctx.max_bad = max_bad_;
+  ShardResult shard;
+  shard.last_item = carry_item_;
+  ParseRecordLine(ctx, begin, end, line, &shard);
+  if (!shard.bad.empty()) {
+    return ChargeBadLine(line, std::move(shard.bad.front().detail));
+  }
+  if (shard.recs.empty()) return Status::Ok();
+  const ParsedRec& rec = shard.recs.front();
+  if (rec.item == kPendingItem) {
+    return ChargeBadLine(line,
+                         "rating before any 'movie_id:' section header");
+  }
+  out->push_back({rec.user, rec.item, rec.rating});
+  return Status::Ok();
+}
+
+Status StreamParser::Push(const std::string& chunk,
+                          std::vector<RawRating>* out) {
+  if (!failed_.ok()) return failed_;
+  if (finished_) {
+    return Status::FailedPrecondition("StreamParser::Push after Finish");
+  }
+  buffer_.append(chunk);
+  size_t pos = 0;
+  for (;;) {
+    const size_t nl = buffer_.find('\n', pos);
+    if (nl == std::string::npos) break;
+    HSGD_RETURN_IF_ERROR(
+        ConsumeLine(buffer_.data() + pos, buffer_.data() + nl, out));
+    pos = nl + 1;
+  }
+  buffer_.erase(0, pos);
+  return Status::Ok();
+}
+
+Status StreamParser::Finish(std::vector<RawRating>* out) {
+  if (!failed_.ok()) return failed_;
+  if (finished_) {
+    return Status::FailedPrecondition("StreamParser::Finish called twice");
+  }
+  finished_ = true;
+  if (!buffer_.empty()) {
+    // An unterminated final line parses exactly like a file's last line.
+    const Status status =
+        ConsumeLine(buffer_.data(), buffer_.data() + buffer_.size(), out);
+    buffer_.clear();
+    HSGD_RETURN_IF_ERROR(status);
+  }
+  return Status::Ok();
 }
 
 }  // namespace hsgd::io

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace hsgd {
@@ -80,6 +81,12 @@ int Grid::RowOf(int32_t u) const {
 int Grid::ColOf(int32_t v) const {
   auto it = std::upper_bound(col_bounds.begin(), col_bounds.end(), v);
   return static_cast<int>(it - col_bounds.begin()) - 1;
+}
+
+void Grid::ExtendTo(int32_t num_rows, int32_t num_cols) {
+  HSGD_CHECK(!row_bounds.empty() && !col_bounds.empty());
+  if (num_rows > row_bounds.back()) row_bounds.back() = num_rows;
+  if (num_cols > col_bounds.back()) col_bounds.back() = num_cols;
 }
 
 StatusOr<Grid> BuildBalancedGrid(const Ratings& ratings, int64_t num_rows,
@@ -184,6 +191,45 @@ StatusOr<BlockedMatrix> BlockedMatrix::Build(const Ratings& ratings,
   }
   bm.total_nnz_ = static_cast<int64_t>(ratings.size());
   return bm;
+}
+
+Status BlockedMatrix::AppendGrown(const Ratings& ratings, int32_t new_rows,
+                                  int32_t new_cols,
+                                  std::vector<uint8_t>* dirty) {
+  if (blocks_.empty()) {
+    return Status::FailedPrecondition("append into an unbuilt matrix");
+  }
+  if (new_rows < grid_.row_bounds.back() ||
+      new_cols < grid_.col_bounds.back()) {
+    return Status::InvalidArgument(
+        StrFormat("append cannot shrink grid extent %dx%d to %dx%d",
+                  grid_.row_bounds.back(), grid_.col_bounds.back(),
+                  new_rows, new_cols));
+  }
+  // Validate before mutating: a bad rating must not leave the grid
+  // half-extended or some blocks appended.
+  for (const Rating& rt : ratings) {
+    if (rt.u < 0 || rt.u >= new_rows || rt.v < 0 || rt.v >= new_cols) {
+      return Status::InvalidArgument(
+          StrFormat("appended rating (%d, %d) outside grown extent %dx%d",
+                    rt.u, rt.v, new_rows, new_cols));
+    }
+  }
+  grid_.ExtendTo(new_rows, new_cols);
+  if (dirty != nullptr &&
+      dirty->size() < static_cast<size_t>(num_blocks())) {
+    dirty->resize(static_cast<size_t>(num_blocks()), 0);
+  }
+  // Appends land at block tails in arrival order (no shuffle): an
+  // incremental pass visits fresh ratings last, after the block's settled
+  // prefix, which is the recency order an online update wants.
+  for (const Rating& rt : ratings) {
+    const int block = grid_.BlockIndex(grid_.RowOf(rt.u), grid_.ColOf(rt.v));
+    blocks_[static_cast<size_t>(block)].push_back(rt);
+    if (dirty != nullptr) (*dirty)[static_cast<size_t>(block)] = 1;
+  }
+  total_nnz_ += static_cast<int64_t>(ratings.size());
+  return Status::Ok();
 }
 
 }  // namespace hsgd

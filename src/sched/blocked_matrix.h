@@ -43,6 +43,12 @@ struct Grid {
   /// Stratum containing row index u / column index v (binary search).
   int RowOf(int32_t u) const;
   int ColOf(int32_t v) const;
+
+  /// Extend the grid extent to cover `num_rows` x `num_cols` by widening
+  /// the LAST row/column stratum. The strata counts — and therefore every
+  /// BlockIndex — are unchanged, so schedulers sized off this grid stay
+  /// valid; new (cold) indices all land in the trailing stratum.
+  void ExtendTo(int32_t num_rows, int32_t num_cols);
 };
 
 /// Equal-load p x q grid: cuts are placed on the nnz mass so every row
@@ -68,6 +74,15 @@ class BlockedMatrix {
   /// block). `rng` may be null to keep insertion order.
   static StatusOr<BlockedMatrix> Build(const Ratings& ratings,
                                        const Grid& grid, Rng* rng);
+
+  /// Online-append path: extend the grid to cover `new_rows` x `new_cols`
+  /// (trailing-stratum growth; block count is invariant), then bucket
+  /// `ratings` onto the existing blocks' tails in arrival order. Marks
+  /// each block that received ratings in `dirty` (sized/indexed by block;
+  /// grown to num_blocks() if shorter). Fails without mutating anything
+  /// if a rating falls outside the grown extent.
+  Status AppendGrown(const Ratings& ratings, int32_t new_rows,
+                     int32_t new_cols, std::vector<uint8_t>* dirty);
 
   int num_blocks() const { return static_cast<int>(blocks_.size()); }
   const Ratings& BlockRatings(int block) const { return blocks_[block]; }

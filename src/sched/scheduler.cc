@@ -28,6 +28,22 @@ void Scheduler::BeginEpoch() {
   requeued_.assign(static_cast<size_t>(matrix_->num_blocks()), 0);
 }
 
+void Scheduler::BeginEpochSubset(const std::vector<int>& blocks) {
+  HSGD_CHECK(in_flight_ == 0)
+      << "BeginEpochSubset with tasks still in flight";
+  remaining_ = 0;
+  done_.assign(static_cast<size_t>(matrix_->num_blocks()), 1);
+  for (int b : blocks) {
+    HSGD_CHECK(b >= 0 && b < matrix_->num_blocks());
+    if (matrix_->BlockNnz(b) > 0 && done_[static_cast<size_t>(b)]) {
+      done_[static_cast<size_t>(b)] = 0;
+      ++remaining_;
+    }
+  }
+  outstanding_.clear();
+  requeued_.assign(static_cast<size_t>(matrix_->num_blocks()), 0);
+}
+
 bool Scheduler::BlockRunnable(int row, int col) const {
   if (row_busy_[static_cast<size_t>(row)] != 0 ||
       col_busy_[static_cast<size_t>(col)] != 0) {

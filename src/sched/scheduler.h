@@ -53,6 +53,13 @@ class Scheduler {
   /// Outstanding (unreleased) tasks must not span epochs.
   virtual void BeginEpoch();
 
+  /// BeginEpoch restricted to `blocks` (block indices): only the listed
+  /// non-empty blocks become pending; everything else starts the epoch
+  /// done. The incremental-training path uses this to sweep just the
+  /// blocks that received appended ratings. Policy schedulers need no
+  /// override — they derive runnability from the shared done bits.
+  void BeginEpochSubset(const std::vector<int>& blocks);
+
   /// Short policy name for reports and metrics ("star", "uniform").
   virtual const char* name() const = 0;
 

@@ -64,8 +64,21 @@ StatusOr<std::shared_ptr<const FactorSnapshot>> FactorSnapshot::FromModel(
 }
 
 StatusOr<std::shared_ptr<const FactorSnapshot>> FactorSnapshot::FromSession(
-    const Session& session, uint64_t version) {
-  return FromModel(session.model(), session.dataset().train, version);
+    const Session& session, uint64_t version, const io::IdMap* users,
+    const io::IdMap* items) {
+  // The copy must not race Hogwild workers mid-epoch (torn factor rows)
+  // or an append (the grow path REALLOCATES the factor buffers, so a
+  // concurrent copy would read freed memory). VisitQuiesced try-locks
+  // the epoch barrier: success means the factors are settled for the
+  // whole copy; contention surfaces as FailedPrecondition.
+  StatusOr<std::shared_ptr<const FactorSnapshot>> result =
+      Status::FailedPrecondition("snapshot attempted mid-epoch");
+  HSGD_RETURN_IF_ERROR(session.VisitQuiesced([&]() -> Status {
+    result = FromModel(session.model(), session.dataset().train, version,
+                       users, items);
+    return Status::Ok();
+  }));
+  return result;
 }
 
 StatusOr<std::shared_ptr<const FactorSnapshot>>

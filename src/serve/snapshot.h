@@ -63,11 +63,19 @@ class FactorSnapshot {
       const io::IdMap* users = nullptr, const io::IdMap* items = nullptr);
 
   /// FromModel over a live session's current factors and its training
-  /// ratings. Call between epochs (the only time a session is quiescent);
-  /// the copy means the session can keep training while the snapshot
-  /// serves.
+  /// ratings, gated on the session's epoch barrier: the copy runs only
+  /// while the session is quiescent (no epoch in flight, no append
+  /// mutating — or reallocating — the factor buffers). If training holds
+  /// the barrier this fails fast with kFailedPrecondition instead of
+  /// tearing; retry at the next epoch boundary (e.g. from an OnEpochEnd
+  /// observer, which fires after the barrier drops). `users`/`items`
+  /// (optional, both or neither) are copied in so raw-id lookups resolve
+  /// against the vocabulary as of THIS snapshot — a stream-grown session
+  /// passes its current maps and cold raw ids stay typed NotFound until
+  /// the publish that actually covers them.
   static StatusOr<std::shared_ptr<const FactorSnapshot>> FromSession(
-      const Session& session, uint64_t version);
+      const Session& session, uint64_t version,
+      const io::IdMap* users = nullptr, const io::IdMap* items = nullptr);
 
   /// Builds a snapshot from a checkpoint file via the factors-only fast
   /// path — no Dataset, no Session rebuild. The checkpoint stores no

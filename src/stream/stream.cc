@@ -1,0 +1,156 @@
+#include "stream/stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace hsgd::stream {
+
+io::IdMap DenseIdentityMap(int32_t size) {
+  io::IdMap map;
+  for (int32_t i = 0; i < size; ++i) map.Assign(i);
+  return map;
+}
+
+// ---- SyntheticStream ------------------------------------------------------
+
+SyntheticStream::SyntheticStream(const SyntheticStreamSpec& spec)
+    : spec_(spec), rng_(spec.seed, 31) {}
+
+int64_t SyntheticStream::DrawEntity(int32_t warm, int32_t* cold,
+                                    double cold_rate) {
+  if (rng_.NextDouble() < cold_rate) {
+    return static_cast<int64_t>(warm) + (*cold)++;
+  }
+  // 80/20 hot-set skew over everything emitted so far (cold entities join
+  // the pool once introduced, so a freshly-arrived user keeps rating).
+  const int32_t pool = warm + *cold;
+  const int32_t hot = std::max<int32_t>(1, pool / 5);
+  if (rng_.NextDouble() < 0.8) return rng_.UniformInt(hot);
+  return rng_.UniformInt(pool);
+}
+
+std::vector<io::RawRating> SyntheticStream::NextBatch(int64_t n) {
+  std::vector<io::RawRating> batch;
+  batch.reserve(static_cast<size_t>(std::max<int64_t>(0, n)));
+  for (int64_t i = 0; i < n; ++i) {
+    io::RawRating rec;
+    rec.user = spec_.raw_user_base +
+               DrawEntity(spec_.warm_users, &cold_users_,
+                          spec_.cold_user_rate);
+    rec.item = spec_.raw_item_base +
+               DrawEntity(spec_.warm_items, &cold_items_,
+                          spec_.cold_item_rate);
+    rec.rating = spec_.min_rating +
+                 rng_.NextFloat() * (spec_.max_rating - spec_.min_rating);
+    batch.push_back(rec);
+  }
+  return batch;
+}
+
+// ---- OnlineTrainer --------------------------------------------------------
+
+StatusOr<std::unique_ptr<OnlineTrainer>> OnlineTrainer::Create(
+    std::unique_ptr<Session> session, io::IdMap users, io::IdMap items,
+    Publisher publisher, obs::MetricsRegistry* metrics) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("OnlineTrainer needs a live session");
+  }
+  if (users.size() != session->dataset().num_rows ||
+      items.size() != session->dataset().num_cols) {
+    return Status::InvalidArgument(StrFormat(
+        "id maps (%d users, %d items) do not describe the session's "
+        "dataset (%d x %d)",
+        users.size(), items.size(), session->dataset().num_rows,
+        session->dataset().num_cols));
+  }
+  std::unique_ptr<OnlineTrainer> trainer(new OnlineTrainer());
+  trainer->session_ = std::move(session);
+  trainer->users_ = std::move(users);
+  trainer->items_ = std::move(items);
+  trainer->publisher_ = std::move(publisher);
+  if (metrics != nullptr) {
+    trainer->metric_.ingested = metrics->counter("stream.ingested");
+    trainer->metric_.cold_users = metrics->counter("stream.cold_users");
+    trainer->metric_.cold_items = metrics->counter("stream.cold_items");
+    trainer->metric_.epochs = metrics->counter("stream.epochs");
+    trainer->metric_.publishes = metrics->counter("stream.publishes");
+    trainer->metric_.staleness = metrics->gauge("stream.staleness_ratings");
+    trainer->metric_.version = metrics->gauge("stream.version");
+    trainer->metric_.publish_seconds = metrics->histogram(
+        "stream.publish_wall_seconds", obs::ExponentialBounds(1e-5, 2.0, 20));
+    trainer->metric_.batch_size = metrics->histogram(
+        "stream.ingest_batch_size", obs::ExponentialBounds(1.0, 2.0, 20));
+  }
+  return trainer;
+}
+
+StatusOr<IngestResult> OnlineTrainer::Ingest(
+    const std::vector<io::RawRating>& batch) {
+  for (const io::RawRating& rec : batch) {
+    if (rec.user < 0 || rec.item < 0) {
+      return Status::InvalidArgument(
+          StrFormat("streamed rating has negative raw id (%lld, %lld)",
+                    static_cast<long long>(rec.user),
+                    static_cast<long long>(rec.item)));
+    }
+  }
+  const int32_t users_before = users_.size();
+  const int32_t items_before = items_.size();
+  Ratings dense;
+  dense.reserve(batch.size());
+  for (const io::RawRating& rec : batch) {
+    Rating r;
+    r.u = users_.Assign(rec.user);
+    r.v = items_.Assign(rec.item);
+    r.r = rec.rating;
+    dense.push_back(r);
+  }
+  HSGD_RETURN_IF_ERROR(session_->AppendRatings(dense));
+  // The maps and the grown session must agree — the next publish copies
+  // both, and a divergence here is exactly the stale-dense-id aliasing
+  // bug this layer exists to prevent.
+  HSGD_CHECK(users_.size() == session_->dataset().num_rows &&
+             items_.size() == session_->dataset().num_cols);
+  IngestResult result;
+  result.accepted = static_cast<int64_t>(batch.size());
+  result.cold_users = users_.size() - users_before;
+  result.cold_items = items_.size() - items_before;
+  obs::Add(metric_.ingested, result.accepted);
+  obs::Add(metric_.cold_users, result.cold_users);
+  obs::Add(metric_.cold_items, result.cold_items);
+  obs::Observe(metric_.batch_size,
+               static_cast<double>(result.accepted));
+  obs::Set(metric_.staleness, static_cast<double>(session_->pending_nnz()));
+  return result;
+}
+
+StatusOr<TracePoint> OnlineTrainer::TrainDirty() {
+  auto point = session_->RunIncrementalEpoch();
+  if (point.ok()) {
+    obs::Increment(metric_.epochs);
+    obs::Set(metric_.staleness,
+             static_cast<double>(session_->pending_nnz()));
+  }
+  return point;
+}
+
+StatusOr<serve::SnapshotPtr> OnlineTrainer::PublishSnapshot() {
+  Stopwatch wall;
+  auto snapshot = serve::FactorSnapshot::FromSession(
+      *session_, version_ + 1, &users_, &items_);
+  if (!snapshot.ok()) return snapshot.status();
+  ++version_;
+  ++publishes_;
+  if (publisher_) publisher_(*snapshot);
+  obs::Increment(metric_.publishes);
+  obs::Set(metric_.version, static_cast<double>(version_));
+  obs::Observe(metric_.publish_seconds, wall.Seconds());
+  return *snapshot;
+}
+
+}  // namespace hsgd::stream

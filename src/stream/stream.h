@@ -1,0 +1,171 @@
+// Online training: the train-and-publish loop that makes "train and
+// serve concurrently from one process" real.
+//
+// The pieces PR 8 left unconnected — `Session` (batch training),
+// `serve::SnapshotHolder` (lock-free publication), `io::IdMap` (raw-id
+// vocabulary) — are driven here by an `OnlineTrainer`:
+//
+//   Ingest(raw batch)   raw ids -> dense via the trainer's OWN IdMaps
+//                       (cold users/items grow the maps, the model's
+//                       aligned factor storage, and the grid's trailing
+//                       strata), appended to the session's dataset with
+//                       the touched blocks marked dirty.
+//   TrainDirty()        one incremental SGD epoch over only the dirty
+//                       blocks (Scheduler::BeginEpochSubset).
+//   PublishSnapshot()   a barrier-synchronized factor copy
+//                       (FactorSnapshot::FromSession, which fails with
+//                       kFailedPrecondition rather than tear mid-epoch)
+//                       carrying THIS publish's id maps, handed to the
+//                       publisher callback (typically
+//                       SnapshotHolder::Publish / RecServer::Publish).
+//
+// Staleness semantics: a rating is stale from Ingest until the first
+// PublishSnapshot after an epoch swept its block. `stream.staleness_ratings`
+// gauges the pending count; queries for a cold user keep returning typed
+// kNotFound until the publish whose maps cover it — never a stale dense-id
+// aliasing from an older snapshot.
+//
+// All OnlineTrainer methods are intended for one driver thread; the
+// concurrency boundary is the published snapshot (any number of serving
+// threads) and the session's epoch barrier, not this class.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/session.h"
+#include "io/loader.h"
+#include "serve/snapshot.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hsgd::obs {
+class MetricsRegistry;  // obs/metrics.h
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace hsgd::obs
+
+namespace hsgd::stream {
+
+/// Identity vocabulary for sessions whose training data was born dense
+/// (synthetic presets): raw id i maps to dense id i, for i in [0, size).
+/// Seeding an OnlineTrainer with identity maps keeps the raw/dense
+/// distinction honest even when they start out equal — streamed cold ids
+/// then extend both sides consistently.
+io::IdMap DenseIdentityMap(int32_t size);
+
+/// A seeded synthetic arrival process: warm entities are drawn with an
+/// 80/20 hot-set skew from the vocabulary emitted so far, cold entities
+/// arrive at the configured rates and permanently join the warm pool.
+/// Raw ids are `raw_user_base + ordinal` (ditto items) — offset the bases
+/// so a raw id is never numerically equal to its dense index and any
+/// identity-fallback bug becomes observable instead of silently correct.
+struct SyntheticStreamSpec {
+  int32_t warm_users = 0;  // ordinals [0, warm_users) preexist the stream
+  int32_t warm_items = 0;
+  double cold_user_rate = 0.02;  // per-arrival probability of a new user
+  double cold_item_rate = 0.01;
+  float min_rating = 1.0f;
+  float max_rating = 5.0f;
+  int64_t raw_user_base = 0;
+  int64_t raw_item_base = 0;
+  uint64_t seed = 1;
+};
+
+class SyntheticStream {
+ public:
+  explicit SyntheticStream(const SyntheticStreamSpec& spec);
+
+  /// The next `n` arrivals, in order. Deterministic for a given spec.
+  std::vector<io::RawRating> NextBatch(int64_t n);
+
+  /// Entities emitted cold so far (beyond the warm preset).
+  int32_t cold_users_emitted() const { return cold_users_; }
+  int32_t cold_items_emitted() const { return cold_items_; }
+
+ private:
+  int64_t DrawEntity(int32_t warm, int32_t* cold, double cold_rate);
+
+  SyntheticStreamSpec spec_;
+  Rng rng_;
+  int32_t cold_users_ = 0;
+  int32_t cold_items_ = 0;
+};
+
+struct IngestResult {
+  int64_t accepted = 0;
+  /// Entities first seen in this batch (IdMap growth = model growth).
+  int32_t cold_users = 0;
+  int32_t cold_items = 0;
+};
+
+class OnlineTrainer {
+ public:
+  /// Receives each published snapshot; typically binds
+  /// RecServer::Publish or SnapshotHolder::Publish. Runs on the driver
+  /// thread inside PublishSnapshot.
+  using Publisher = std::function<void(serve::SnapshotPtr)>;
+
+  /// Takes ownership of a live `session` and the id maps describing its
+  /// CURRENT dataset (use DenseIdentityMap for synthetic data, or the
+  /// maps LoadRatings built for a real dump). InvalidArgument when the
+  /// map sizes disagree with the session's dimensions or the session is
+  /// null. `metrics` (borrowed, may be null) receives the stream.*
+  /// instruments.
+  static StatusOr<std::unique_ptr<OnlineTrainer>> Create(
+      std::unique_ptr<Session> session, io::IdMap users, io::IdMap items,
+      Publisher publisher, obs::MetricsRegistry* metrics = nullptr);
+
+  /// Append a raw batch: ids are resolved (growing the trainer's maps
+  /// for cold entities) and the dense ratings appended to the session.
+  /// InvalidArgument on negative raw ids, with nothing mutated.
+  StatusOr<IngestResult> Ingest(const std::vector<io::RawRating>& batch);
+
+  /// One incremental epoch over the blocks dirtied since the last epoch.
+  /// FailedPrecondition when nothing is pending (harmless; skip and keep
+  /// ingesting).
+  StatusOr<TracePoint> TrainDirty();
+
+  /// Barrier-synchronized snapshot of the session's current factors +
+  /// THIS moment's id maps, with a fresh monotonic version, handed to
+  /// the publisher. Also returned so drivers can inspect what went out.
+  StatusOr<serve::SnapshotPtr> PublishSnapshot();
+
+  const Session& session() const { return *session_; }
+  Session* mutable_session() { return session_.get(); }
+  const io::IdMap& users() const { return users_; }
+  const io::IdMap& items() const { return items_; }
+  /// Version of the last successful publish (0 = none yet).
+  uint64_t version() const { return version_; }
+  int64_t publishes() const { return publishes_; }
+  /// Ratings ingested but not yet covered by an epoch.
+  int64_t pending_nnz() const { return session_->pending_nnz(); }
+
+ private:
+  OnlineTrainer() = default;
+
+  std::unique_ptr<Session> session_;
+  io::IdMap users_;
+  io::IdMap items_;
+  Publisher publisher_;
+  uint64_t version_ = 0;
+  int64_t publishes_ = 0;
+
+  struct Metrics {
+    obs::Counter* ingested = nullptr;
+    obs::Counter* cold_users = nullptr;
+    obs::Counter* cold_items = nullptr;
+    obs::Counter* epochs = nullptr;
+    obs::Counter* publishes = nullptr;
+    obs::Gauge* staleness = nullptr;
+    obs::Gauge* version = nullptr;
+    obs::Histogram* publish_seconds = nullptr;
+    obs::Histogram* batch_size = nullptr;
+  } metric_;
+};
+
+}  // namespace hsgd::stream

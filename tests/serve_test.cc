@@ -9,8 +9,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/dataset.h"
 #include "core/model.h"
 #include "core/recommender.h"
+#include "core/session.h"
 #include "io/loader.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
@@ -90,6 +92,10 @@ void TestSnapshotSwapUnderConcurrentReaders() {
 
   for (int i = 0; i < 2000; ++i) {
     holder.Publish(snaps[i % kVersions]);
+    // On a single core (notably under sanitizers) the publisher can
+    // finish all 2000 publishes before any reader gets a time slice;
+    // yield so the reads-happened assertion below is meaningful.
+    if (i % 16 == 0) std::this_thread::yield();
   }
   stop.store(true);
   for (auto& thread : readers) thread.join();
@@ -367,6 +373,79 @@ void TestColdUserIsTypedNotFatal() {
   EXPECT_EQ(counters.ok, 2);
 }
 
+// Torn-snapshot regression (run under TSan in CI): FromSession while a
+// trainer thread mutates the factors must either succeed as a complete
+// quiescent copy or fail typed kFailedPrecondition — never copy factor
+// rows mid-epoch. Before the barrier gate this was a data race between
+// the snapshot memcpy and the Hogwild SGD writers.
+void TestFromSessionGatedOnEpochBarrier() {
+  SyntheticSpec spec;
+  spec.num_rows = 300;
+  spec.num_cols = 200;
+  spec.train_nnz = 20000;
+  spec.test_nnz = 2000;
+  spec.params.k = 16;
+  auto ds = GenerateSynthetic(spec, /*seed=*/11);
+  EXPECT_TRUE(ds.ok());
+  if (!ds.ok()) return;
+  TrainConfig cfg;
+  cfg.algorithm = Algorithm::kHsgdStar;
+  cfg.hardware.num_cpu_threads = 4;
+  cfg.hardware.num_gpus = 1;
+  cfg.max_epochs = 12;
+  cfg.use_dataset_target = false;
+  cfg.eval_threads = 2;
+  auto session = Session::Create(*std::move(ds), cfg);
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  Session* s = session->get();
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> published{0};
+  std::atomic<int64_t> refused{0};
+  std::atomic<int64_t> wrong{0};
+  std::thread snapshotter([&] {
+    uint64_t version = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      auto snap = FactorSnapshot::FromSession(*s, version + 1);
+      if (snap.ok()) {
+        ++version;
+        published.fetch_add(1);
+        if ((*snap)->num_users() != 300 || (*snap)->num_items() != 200) {
+          wrong.fetch_add(1);
+        }
+      } else if (snap.status().code() == StatusCode::kFailedPrecondition) {
+        refused.fetch_add(1);
+        std::this_thread::yield();
+      } else {
+        wrong.fetch_add(1);
+      }
+    }
+  });
+  while (!s->Done()) {
+    EXPECT_TRUE(s->RunEpoch().ok());
+    // On a single core the snapshotter may starve until training ends;
+    // yielding between epochs gives it real mid-epoch attempts.
+    std::this_thread::yield();
+  }
+  // Keep the (now barrier-free) window open until at least one attempt
+  // resolved, so the coverage assertion holds on any scheduler.
+  while (published.load() + refused.load() == 0) std::this_thread::yield();
+  done.store(true);
+  snapshotter.join();
+
+  // Every attempt resolved to exactly one of the two legal outcomes.
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_LT(0, published.load() + refused.load());
+  // Training over, the barrier is free: a snapshot must now succeed.
+  auto settled = FactorSnapshot::FromSession(*s, 1000);
+  EXPECT_TRUE(settled.ok());
+  if (settled.ok()) {
+    EXPECT_EQ((*settled)->num_users(), 300);
+    EXPECT_EQ((*settled)->version(), 1000u);
+  }
+}
+
 void TestCreateValidatesConfigAndEmptyHolder() {
   ServeConfig bad_shards;
   bad_shards.shards = 0;
@@ -396,6 +475,7 @@ void RunAllTests() {
   TestMidLoadSwapNeverTorn();
   TestDeadlineSheddingCountsExactly();
   TestColdUserIsTypedNotFatal();
+  TestFromSessionGatedOnEpochBarrier();
   TestCreateValidatesConfigAndEmptyHolder();
 }
 

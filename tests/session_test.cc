@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <vector>
@@ -452,6 +453,203 @@ void TestRecommenderTopK() {
   EXPECT_FALSE(recommender.TopK(0, 0).ok());
 }
 
+// (e) Online append: warm and cold ratings grow the session in place,
+// incremental epochs sweep only the dirty blocks, and the error paths
+// are typed.
+void TestAppendAndIncrementalEpoch() {
+  Dataset ds = SmallDataset();
+  const int32_t rows = ds.num_rows;
+  const int32_t cols = ds.num_cols;
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgdStar);
+  cfg.max_epochs = 50;  // headroom: incremental epochs consume budget too
+  auto session = Session::Create(ds, cfg);
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  Session* s = session->get();
+  EXPECT_TRUE(s->RunEpoch().ok());
+
+  // Nothing pending: the incremental epoch refuses, typed.
+  EXPECT_TRUE(s->RunIncrementalEpoch().status().code() ==
+              StatusCode::kFailedPrecondition);
+
+  // Negative ids: InvalidArgument with nothing mutated.
+  Ratings negative = {{-1, 0, 3.0f}};
+  EXPECT_TRUE(s->AppendRatings(negative).code() ==
+              StatusCode::kInvalidArgument);
+  EXPECT_EQ(s->pending_nnz(), 0);
+  EXPECT_EQ(s->pending_dirty_blocks(), 0);
+  EXPECT_EQ(s->dataset().num_rows, rows);
+
+  // Warm append: ids inside the current extent dirty their blocks only.
+  Ratings warm = {{0, 0, 4.0f}, {rows - 1, cols - 1, 2.5f}, {10, 20, 3.0f}};
+  EXPECT_TRUE(s->AppendRatings(warm).ok());
+  EXPECT_EQ(s->pending_nnz(), 3);
+  EXPECT_EQ(s->appended_nnz(), 3);
+  const int dirty = s->pending_dirty_blocks();
+  EXPECT_LT(0, dirty);
+  EXPECT_TRUE(dirty <= 3);
+  const int epochs_before = s->epochs_run();
+  const int64_t nnz_before = s->stats().sim.nnz_processed;
+  auto inc = s->RunIncrementalEpoch();
+  EXPECT_TRUE(inc.ok());
+  EXPECT_EQ(s->epochs_run(), epochs_before + 1);
+  EXPECT_EQ(s->pending_nnz(), 0);
+  EXPECT_EQ(s->pending_dirty_blocks(), 0);
+  if (inc.ok()) {
+    EXPECT_EQ(inc->epoch, s->epochs_run());
+    EXPECT_TRUE(inc->test_rmse > 0.0);
+  }
+  // Only the dirty blocks' ratings were visited — far fewer updates than
+  // the preceding full epoch applied.
+  const int64_t inc_nnz = s->stats().sim.nnz_processed - nnz_before;
+  EXPECT_LT(0, inc_nnz);
+  EXPECT_LT(inc_nnz, nnz_before);
+
+  // Cold append: ids past the extent grow dataset, model, and grid.
+  Ratings cold = {{rows + 4, 2, 5.0f}, {3, cols + 1, 1.5f}};
+  EXPECT_TRUE(s->AppendRatings(cold).ok());
+  EXPECT_EQ(s->dataset().num_rows, rows + 5);
+  EXPECT_EQ(s->dataset().num_cols, cols + 2);
+  EXPECT_EQ(s->model().num_rows(), rows + 5);
+  EXPECT_EQ(s->model().num_cols(), cols + 2);
+  EXPECT_TRUE(s->RunIncrementalEpoch().ok());
+  // The grown corner is scoreable right away.
+  EXPECT_TRUE(std::isfinite(s->model().Predict(rows + 4, cols + 1)));
+
+  // A full epoch still runs on the grown session.
+  EXPECT_TRUE(s->RunEpoch().ok());
+}
+
+// (f) Model::Grow: same stride, old factor bits untouched, new rows in
+// InitRandom's range, padding lanes zero everywhere (kernel invariant).
+void TestModelGrowAlignment() {
+  const int kRank = 5;  // pads: PaddedStride(5) > 5
+  Model model(6, 5, kRank);
+  Rng init(3, 1);
+  model.InitRandom(&init, 3.5);
+  const int stride = model.stride();
+  EXPECT_LT(kRank, stride);
+  const std::vector<float> p_before = model.DenseP();
+  const std::vector<float> q_before = model.DenseQ();
+
+  Rng growth(3, 29);
+  model.Grow(9, 7, &growth, 3.5);
+  EXPECT_EQ(model.num_rows(), 9);
+  EXPECT_EQ(model.num_cols(), 7);
+  EXPECT_EQ(model.stride(), stride);
+
+  const std::vector<float> p_after = model.DenseP();
+  const std::vector<float> q_after = model.DenseQ();
+  EXPECT_EQ(std::memcmp(p_before.data(), p_after.data(),
+                        p_before.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(q_before.data(), q_after.data(),
+                        q_before.size() * sizeof(float)),
+            0);
+
+  const float hi = 2.0f * std::sqrt(3.5f / kRank);
+  for (int32_t u = 0; u < model.num_rows(); ++u) {
+    const float* row = model.Row(u);
+    for (int f = kRank; f < stride; ++f) EXPECT_EQ(row[f], 0.0f);
+    if (u >= 6) {
+      for (int f = 0; f < kRank; ++f) {
+        EXPECT_TRUE(row[f] >= 0.0f && row[f] < hi);
+      }
+    }
+  }
+  for (int32_t v = 0; v < model.num_cols(); ++v) {
+    const float* col = model.Col(v);
+    for (int f = kRank; f < stride; ++f) EXPECT_EQ(col[f], 0.0f);
+  }
+
+  // Equal-dimension Grow is a no-op, not an error.
+  const std::vector<float> p_frozen = model.DenseP();
+  model.Grow(9, 7, &growth, 3.5);
+  EXPECT_EQ(model.num_rows(), 9);
+  EXPECT_EQ(std::memcmp(p_frozen.data(), model.DenseP().data(),
+                        p_frozen.size() * sizeof(float)),
+            0);
+}
+
+// (g) A grown session checkpoints and restores with bit-identical
+// factors; the pre-growth dataset no longer passes the fingerprint.
+void TestGrownCheckpointRoundTrip() {
+  const std::string path = "session_test_ckpt_grown.bin";
+  Dataset ds = SmallDataset();
+  const int32_t rows = ds.num_rows;
+  const int32_t cols = ds.num_cols;
+  TrainConfig cfg = SmallConfig(Algorithm::kHsgdStar);
+  cfg.max_epochs = 20;
+  auto session = Session::Create(ds, cfg);
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  Session* s = session->get();
+  EXPECT_TRUE(s->RunEpoch().ok());
+  Ratings grow = {{rows, 10, 4.0f}, {rows + 1, cols + 2, 3.0f},
+                  {5, cols, 2.0f}};
+  EXPECT_TRUE(s->AppendRatings(grow).ok());
+  EXPECT_TRUE(s->RunIncrementalEpoch().ok());
+  EXPECT_TRUE(s->SaveCheckpoint(path).ok());
+
+  // Restore against the GROWN dataset (a copy of the session's own).
+  auto resumed = Session::Restore(path, s->dataset());
+  EXPECT_TRUE(resumed.ok());
+  if (resumed.ok()) {
+    EXPECT_EQ((*resumed)->model().num_rows(), rows + 2);
+    EXPECT_EQ((*resumed)->model().num_cols(), cols + 3);
+    EXPECT_EQ((*resumed)->epochs_run(), s->epochs_run());
+    const std::vector<float> p0 = s->model().DenseP();
+    const std::vector<float> p1 = (*resumed)->model().DenseP();
+    const std::vector<float> q0 = s->model().DenseQ();
+    const std::vector<float> q1 = (*resumed)->model().DenseQ();
+    EXPECT_EQ(p0.size(), p1.size());
+    EXPECT_EQ(q0.size(), q1.size());
+    if (p0.size() == p1.size() && q0.size() == q1.size()) {
+      EXPECT_EQ(std::memcmp(p0.data(), p1.data(),
+                            p0.size() * sizeof(float)),
+                0);
+      EXPECT_EQ(std::memcmp(q0.data(), q1.data(),
+                            q0.size() * sizeof(float)),
+                0);
+    }
+  }
+  EXPECT_FALSE(Session::Restore(path, ds).ok());
+  std::remove(path.c_str());
+}
+
+// (h) VisitQuiesced: runs the callback between epochs (propagating its
+// Status) and is legal from inside OnEpochEnd — the barrier is released
+// before observers fire, which is what lets an observer publish a
+// snapshot.
+void TestVisitQuiescedBarrier() {
+  Dataset ds = SmallDataset();
+  auto session = Session::Create(ds, SmallConfig(Algorithm::kCpuOnly));
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  Session* s = session->get();
+
+  int calls = 0;
+  EXPECT_TRUE(s->VisitQuiesced([&calls]() {
+                 ++calls;
+                 return Status::Ok();
+               }).ok());
+  EXPECT_EQ(calls, 1);
+  auto propagated =
+      s->VisitQuiesced([]() { return Status::Internal("boom"); });
+  EXPECT_TRUE(propagated.code() == StatusCode::kInternal);
+
+  class VisitingObserver : public EpochObserver {
+   public:
+    void OnEpochEnd(const Session& session, const TracePoint&) override {
+      visited = session.VisitQuiesced([]() { return Status::Ok(); }).ok();
+    }
+    bool visited = false;
+  } observer;
+  s->AddObserver(&observer);
+  EXPECT_TRUE(s->RunEpoch().ok());
+  EXPECT_TRUE(observer.visited);
+}
+
 void TestTraceEmptyAndMonotone() {
   Trace empty;
   // Documented guard: an empty trace never reaches anything.
@@ -479,6 +677,10 @@ void RunAllTests() {
   TestObservers();
   TestCreateValidation();
   TestRecommenderTopK();
+  TestAppendAndIncrementalEpoch();
+  TestModelGrowAlignment();
+  TestGrownCheckpointRoundTrip();
+  TestVisitQuiescedBarrier();
   TestTraceEmptyAndMonotone();
 }
 

@@ -1,0 +1,462 @@
+// Stream subsystem tests: the incremental parser must be byte-chunking
+// invariant (records, bad-line tally, and the exact over-budget failure
+// all identical down to 1-byte pushes), and the OnlineTrainer must take a
+// cold raw id from ingestion to a servable factor row — with queries in
+// between answered by a typed NotFound, never a stale dense-id aliasing.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/session.h"
+#include "io/loader.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "stream/stream.h"
+#include "test_main.h"
+
+namespace hsgd {
+namespace {
+
+using io::DataFormat;
+using io::LoadOptions;
+using io::RawRating;
+using io::StreamParser;
+using stream::DenseIdentityMap;
+using stream::OnlineTrainer;
+using stream::SyntheticStream;
+using stream::SyntheticStreamSpec;
+
+/// Feed `text` in fixed-size chunks and Finish; returns the records.
+/// Failures (budget exhaustion) surface through `status`.
+std::vector<RawRating> ParseChunked(const std::string& text,
+                                    DataFormat format,
+                                    const LoadOptions& options,
+                                    size_t chunk_size, Status* status,
+                                    StreamParser* parser_out = nullptr) {
+  StreamParser parser(format, options, "stream_test");
+  std::vector<RawRating> out;
+  Status last = Status::Ok();
+  for (size_t pos = 0; pos < text.size(); pos += chunk_size) {
+    last = parser.Push(text.substr(pos, chunk_size), &out);
+    if (!last.ok()) break;
+  }
+  if (last.ok()) last = parser.Finish(&out);
+  if (status != nullptr) *status = last;
+  if (parser_out != nullptr) *parser_out = parser;
+  return out;
+}
+
+void ExpectSameRecords(const std::vector<RawRating>& a,
+                       const std::vector<RawRating>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  if (a.size() != b.size()) return;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_EQ(a[i].rating, b[i].rating);
+  }
+}
+
+void TestParserChunkingInvariance() {
+  // CRLF, blank lines, an unterminated last line — every edge the batch
+  // loader tolerates, split at every possible byte boundary.
+  const std::string movielens =
+      "7::100::4.5\r\n"
+      "\n"
+      "8::200::3.0\n"
+      "7::300::5.0\n"
+      "9::100::0.5";
+  Status status;
+  const auto whole = ParseChunked(movielens, DataFormat::kMovieLens, {},
+                                  movielens.size(), &status);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(whole.size(), 4u);
+  if (whole.size() == 4u) {
+    EXPECT_EQ(whole[0].user, 7);
+    EXPECT_EQ(whole[0].item, 100);
+    EXPECT_EQ(whole[0].rating, 4.5f);
+    EXPECT_EQ(whole[3].user, 9);
+    EXPECT_EQ(whole[3].rating, 0.5f);
+  }
+  for (size_t chunk : {1u, 2u, 3u, 7u, 64u}) {
+    const auto parsed = ParseChunked(movielens, DataFormat::kMovieLens, {},
+                                     chunk, &status);
+    EXPECT_TRUE(status.ok());
+    ExpectSameRecords(parsed, whole);
+  }
+
+  // Netflix: section headers carry across chunk boundaries, and a
+  // re-rated (user, item) pair is NOT a duplicate for a stream.
+  const std::string netflix =
+      "12:\n"
+      "100,4,2005-09-06\n"
+      "101,3\n"
+      "34:\n"
+      "100,5\n"
+      "100,2\n";
+  const auto nf_whole = ParseChunked(netflix, DataFormat::kNetflix, {},
+                                     netflix.size(), &status);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(nf_whole.size(), 4u);
+  if (nf_whole.size() == 4u) {
+    EXPECT_EQ(nf_whole[0].user, 100);
+    EXPECT_EQ(nf_whole[0].item, 12);
+    EXPECT_EQ(nf_whole[2].item, 34);
+    EXPECT_EQ(nf_whole[3].user, 100);
+    EXPECT_EQ(nf_whole[3].rating, 2.0f);
+  }
+  for (size_t chunk : {1u, 5u, 13u}) {
+    const auto parsed = ParseChunked(netflix, DataFormat::kNetflix, {},
+                                     chunk, &status);
+    EXPECT_TRUE(status.ok());
+    ExpectSameRecords(parsed, nf_whole);
+  }
+
+  // CSV headers (the only format that carries them) are skipped even
+  // when the header line itself is split across chunks.
+  const std::string csv =
+      "user,item,rating\n"
+      "1,10,2.5\n"
+      "2,20,-1.0\n";
+  const auto csv_whole =
+      ParseChunked(csv, DataFormat::kCsv, {}, csv.size(), &status);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(csv_whole.size(), 2u);
+  if (csv_whole.size() == 2u) {
+    EXPECT_EQ(csv_whole[0].user, 1);
+    EXPECT_EQ(csv_whole[1].rating, -1.0f);  // csv range is unbounded
+  }
+  for (size_t chunk : {1u, 3u, 9u}) {
+    const auto parsed =
+        ParseChunked(csv, DataFormat::kCsv, {}, chunk, &status);
+    EXPECT_TRUE(status.ok());
+    ExpectSameRecords(parsed, csv_whole);
+  }
+}
+
+void TestParserErrorBudgetDeterministic() {
+  // Lines 3 and 5 are bad (garbage fields, out-of-range rating).
+  const std::string text =
+      "1::10::4.0\n"
+      "2::20::3.0\n"
+      "oops::not::a-line\n"
+      "3::30::2.0\n"
+      "4::40::9.5\n"
+      "5::50::1.0\n";
+
+  // Budget 2: both bad lines quarantined, load order preserved.
+  LoadOptions lenient;
+  lenient.max_bad_lines = 2;
+  for (size_t chunk : std::vector<size_t>{1, 4, text.size()}) {
+    Status status;
+    StreamParser parser(DataFormat::kMovieLens, lenient, "stream_test");
+    const auto parsed = ParseChunked(text, DataFormat::kMovieLens, lenient,
+                                     chunk, &status, &parser);
+    EXPECT_TRUE(status.ok());
+    EXPECT_EQ(parsed.size(), 4u);
+    EXPECT_EQ(parser.bad_lines().total, 2);
+    EXPECT_EQ(parser.bad_lines().sample.size(), 2u);
+    if (parser.bad_lines().sample.size() == 2u) {
+      EXPECT_EQ(parser.bad_lines().sample[0].line, 3);
+      EXPECT_EQ(parser.bad_lines().sample[1].line, 5);
+    }
+    EXPECT_EQ(parser.lines_consumed(), 6);
+  }
+
+  // Budget 1: the SECOND bad line fails, naming line 5 — the identical
+  // first-over-budget failure for every chunking — and the parser is
+  // poisoned afterwards.
+  LoadOptions strict;
+  strict.max_bad_lines = 1;
+  std::string first_message;
+  for (size_t chunk : std::vector<size_t>{1, 4, text.size()}) {
+    StreamParser parser(DataFormat::kMovieLens, strict, "stream_test");
+    std::vector<RawRating> out;
+    Status failed = Status::Ok();
+    for (size_t pos = 0; pos < text.size() && failed.ok();
+         pos += chunk) {
+      failed = parser.Push(text.substr(pos, chunk), &out);
+    }
+    EXPECT_FALSE(failed.ok());
+    EXPECT_TRUE(failed.code() == StatusCode::kInvalidArgument);
+    EXPECT_TRUE(failed.message().find("stream_test:5") !=
+                std::string::npos);
+    if (first_message.empty()) {
+      first_message = failed.message();
+    } else {
+      EXPECT_EQ(failed.message(), first_message);
+    }
+    EXPECT_TRUE(parser.failed());
+    // Poisoned: the same error, forever, from both entry points.
+    std::vector<RawRating> ignored;
+    EXPECT_EQ(parser.Push("6::60::2.0\n", &ignored).message(),
+              failed.message());
+    EXPECT_EQ(parser.Finish(&ignored).message(), failed.message());
+    EXPECT_TRUE(ignored.empty());
+  }
+
+  // Finish is once-only, and negative ids are malformed.
+  StreamParser done(DataFormat::kMovieLens, {}, "stream_test");
+  std::vector<RawRating> out;
+  EXPECT_TRUE(done.Push("1::10::4.0\n", &out).ok());
+  EXPECT_TRUE(done.Finish(&out).ok());
+  EXPECT_TRUE(done.Finish(&out).code() == StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(done.Push("2::20::3.0\n", &out).code() ==
+              StatusCode::kFailedPrecondition);
+
+  StreamParser negative(DataFormat::kCsv, {}, "stream_test");
+  EXPECT_FALSE(negative.Push("-3,10,4.0\n", &out).ok());
+}
+
+// The stream grammar IS the batch grammar: the same dirty text run
+// through LoadRatings and through 1-byte Pushes yields the same records
+// (modulo the dense remap the batch side applies) and the same bad-line
+// accounting.
+void TestParserAgreesWithBatchLoader() {
+  const std::string text =
+      "1::10::4.0\n"
+      "11::21::3.0\n"
+      "broken line\n"
+      "12::22::2.0\n"
+      "13::23::1.5\n";
+  const std::string path = "stream_test_loader_cmp.dat";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_TRUE(f != nullptr);
+  if (f == nullptr) return;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+
+  LoadOptions options;
+  options.max_bad_lines = 2;
+  auto loaded = io::LoadRatings(path, DataFormat::kMovieLens, options);
+  EXPECT_TRUE(loaded.ok());
+
+  Status status;
+  StreamParser parser(DataFormat::kMovieLens, options, path);
+  const auto streamed =
+      ParseChunked(text, DataFormat::kMovieLens, options, 1, &status,
+                   &parser);
+  EXPECT_TRUE(status.ok());
+
+  if (loaded.ok()) {
+    EXPECT_EQ(loaded->ratings.size(), streamed.size());
+    if (loaded->ratings.size() == streamed.size()) {
+      for (size_t i = 0; i < streamed.size(); ++i) {
+        // The batch loader's dense id for this record's raw id must be
+        // the id it stored — the streams agree record by record.
+        EXPECT_EQ(loaded->users.Lookup(streamed[i].user),
+                  loaded->ratings[i].u);
+        EXPECT_EQ(loaded->items.Lookup(streamed[i].item),
+                  loaded->ratings[i].v);
+        EXPECT_EQ(loaded->ratings[i].r, streamed[i].rating);
+      }
+    }
+    EXPECT_EQ(loaded->bad_lines.total, parser.bad_lines().total);
+    EXPECT_EQ(loaded->bad_lines.sample.size(),
+              parser.bad_lines().sample.size());
+    if (!loaded->bad_lines.sample.empty() &&
+        !parser.bad_lines().sample.empty()) {
+      EXPECT_EQ(loaded->bad_lines.sample[0].line,
+                parser.bad_lines().sample[0].line);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+void TestSyntheticStreamDeterministic() {
+  SyntheticStreamSpec spec;
+  spec.warm_users = 50;
+  spec.warm_items = 40;
+  spec.cold_user_rate = 0.2;
+  spec.cold_item_rate = 0.1;
+  spec.raw_user_base = 1000000;
+  spec.raw_item_base = 2000000;
+  spec.seed = 9;
+  SyntheticStream a(spec);
+  SyntheticStream b(spec);
+  const auto batch_a = a.NextBatch(500);
+  const auto batch_b = b.NextBatch(500);
+  EXPECT_EQ(batch_a.size(), 500u);
+  ExpectSameRecords(batch_a, batch_b);
+  EXPECT_EQ(a.cold_users_emitted(), b.cold_users_emitted());
+  // At a 20% cold rate, 500 arrivals must introduce someone new.
+  EXPECT_LT(0, a.cold_users_emitted());
+  EXPECT_LT(0, a.cold_items_emitted());
+  for (const RawRating& rec : batch_a) {
+    EXPECT_TRUE(rec.user >= spec.raw_user_base);
+    EXPECT_TRUE(rec.item >= spec.raw_item_base);
+    EXPECT_TRUE(rec.rating >= spec.min_rating &&
+                rec.rating <= spec.max_rating);
+  }
+}
+
+StatusOr<std::unique_ptr<Session>> WarmSession(int32_t rows, int32_t cols,
+                                               int max_epochs) {
+  SyntheticSpec spec;
+  spec.num_rows = rows;
+  spec.num_cols = cols;
+  spec.train_nnz = rows * cols / 10;
+  spec.test_nnz = rows * cols / 100;
+  spec.params.k = 8;
+  auto ds = GenerateSynthetic(spec, /*seed=*/21);
+  HSGD_RETURN_IF_ERROR(ds.status());
+  TrainConfig cfg;
+  cfg.algorithm = Algorithm::kHsgdStar;
+  cfg.hardware.num_cpu_threads = 4;
+  cfg.hardware.num_gpus = 1;
+  cfg.max_epochs = max_epochs;
+  cfg.use_dataset_target = false;
+  cfg.eval_threads = 2;
+  return Session::Create(*std::move(ds), cfg);
+}
+
+// The cold-start satellite, end to end: a raw id streamed in is NotFound
+// until the publish whose maps cover it, then servable — and the raw/dense
+// offset guarantees an identity fallback would be caught as a wrong answer.
+void TestOnlineTrainerColdStartServing() {
+  const int32_t kRows = 120;
+  const int32_t kCols = 90;
+  const int64_t kUserBase = 5000000;
+  const int64_t kItemBase = 7000000;
+  auto session = WarmSession(kRows, kCols, /*max_epochs=*/40);
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  EXPECT_TRUE((*session)->RunEpoch().ok());
+  EXPECT_TRUE((*session)->RunEpoch().ok());
+
+  // The warm vocabulary is offset: raw id = base + dense index.
+  io::IdMap users, items;
+  for (int32_t i = 0; i < kRows; ++i) users.Assign(kUserBase + i);
+  for (int32_t i = 0; i < kCols; ++i) items.Assign(kItemBase + i);
+
+  auto server = serve::RecServer::Create(serve::ServeConfig{}, nullptr);
+  EXPECT_TRUE(server.ok());
+  if (!server.ok()) return;
+  serve::RecServer* srv = server->get();
+
+  obs::MetricsRegistry metrics;
+  auto trainer = OnlineTrainer::Create(
+      *std::move(session), std::move(users), std::move(items),
+      [srv](serve::SnapshotPtr snap) { srv->Publish(std::move(snap)); },
+      &metrics);
+  EXPECT_TRUE(trainer.ok());
+  if (!trainer.ok()) return;
+  OnlineTrainer* ot = trainer->get();
+
+  EXPECT_TRUE(ot->PublishSnapshot().ok());
+  EXPECT_EQ(ot->version(), 1u);
+
+  // Warm raw id serves; its dense alias must NOT (identity fallback
+  // would accept it — the typed NotFound proves the maps are live).
+  EXPECT_TRUE(srv->Query({kUserBase + 3, /*raw=*/true, 5}).ok());
+  EXPECT_TRUE(srv->Query({3, /*raw=*/true, 5}).status().code() ==
+              StatusCode::kNotFound);
+
+  // Stream in a cold user and a cold item.
+  const int64_t cold_user = kUserBase + kRows + 7;
+  const int64_t cold_item = kItemBase + kCols + 2;
+  std::vector<RawRating> batch = {
+      {cold_user, kItemBase + 1, 4.5f},
+      {cold_user, cold_item, 3.0f},
+      {kUserBase + 2, cold_item, 2.5f},
+  };
+  auto ingested = ot->Ingest(batch);
+  EXPECT_TRUE(ingested.ok());
+  if (ingested.ok()) {
+    EXPECT_EQ(ingested->accepted, 3);
+    EXPECT_EQ(ingested->cold_users, 1);
+    EXPECT_EQ(ingested->cold_items, 1);
+  }
+  EXPECT_EQ(ot->pending_nnz(), 3);
+
+  // Before the next publish the server still holds the old snapshot:
+  // the streamed id is typed NotFound, not a stale answer.
+  EXPECT_TRUE(srv->Query({cold_user, /*raw=*/true, 5}).status().code() ==
+              StatusCode::kNotFound);
+
+  EXPECT_TRUE(ot->TrainDirty().ok());
+  EXPECT_EQ(ot->pending_nnz(), 0);
+  EXPECT_TRUE(ot->PublishSnapshot().ok());
+  EXPECT_EQ(ot->version(), 2u);
+
+  // The publish whose maps cover the cold user makes it servable, and
+  // its results translate back to raw item ids.
+  auto answer = srv->Query({cold_user, /*raw=*/true, 5});
+  EXPECT_TRUE(answer.ok());
+  if (answer.ok()) {
+    EXPECT_EQ(answer->snapshot_version, 2u);
+    EXPECT_EQ(answer->items.size(), 5u);
+    EXPECT_EQ(answer->raw_items.size(), 5u);
+    for (int64_t raw : answer->raw_items) {
+      EXPECT_TRUE(raw >= kItemBase);
+    }
+  }
+
+  // Ingest rejects negative raw ids without mutating anything.
+  auto bad = ot->Ingest({{-1, kItemBase, 3.0f}});
+  EXPECT_TRUE(bad.status().code() == StatusCode::kInvalidArgument);
+  EXPECT_EQ(ot->pending_nnz(), 0);
+
+  // TrainDirty with nothing pending is the session's typed refusal.
+  EXPECT_TRUE(ot->TrainDirty().status().code() ==
+              StatusCode::kFailedPrecondition);
+
+  // The stream.* instruments saw the traffic.
+  EXPECT_EQ(metrics.counter("stream.ingested")->Value(), 3);
+  EXPECT_EQ(metrics.counter("stream.cold_users")->Value(), 1);
+  EXPECT_EQ(metrics.counter("stream.cold_items")->Value(), 1);
+  EXPECT_EQ(metrics.counter("stream.publishes")->Value(), 2);
+  EXPECT_EQ(metrics.counter("stream.epochs")->Value(), 1);
+
+  srv->Shutdown();
+}
+
+void TestOnlineTrainerCreateValidation() {
+  auto session = WarmSession(40, 30, 5);
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  // Maps that do not describe the dataset are rejected.
+  auto wrong = OnlineTrainer::Create(*std::move(session),
+                                     DenseIdentityMap(39),
+                                     DenseIdentityMap(30), nullptr);
+  EXPECT_TRUE(wrong.status().code() == StatusCode::kInvalidArgument);
+  EXPECT_TRUE(OnlineTrainer::Create(nullptr, DenseIdentityMap(0),
+                                    DenseIdentityMap(0), nullptr)
+                  .status()
+                  .code() == StatusCode::kInvalidArgument);
+
+  auto session2 = WarmSession(40, 30, 5);
+  EXPECT_TRUE(session2.ok());
+  if (!session2.ok()) return;
+  auto ok = OnlineTrainer::Create(*std::move(session2),
+                                  DenseIdentityMap(40),
+                                  DenseIdentityMap(30), nullptr);
+  EXPECT_TRUE(ok.ok());
+  if (ok.ok()) {
+    // A null publisher is legal: the snapshot is still returned.
+    EXPECT_TRUE((*ok)->session().Done() == false);
+    auto snap = (*ok)->PublishSnapshot();
+    EXPECT_TRUE(snap.ok());
+    if (snap.ok()) EXPECT_EQ((*snap)->version(), 1u);
+  }
+}
+
+}  // namespace
+
+void RunAllTests() {
+  TestParserChunkingInvariance();
+  TestParserErrorBudgetDeterministic();
+  TestParserAgreesWithBatchLoader();
+  TestSyntheticStreamDeterministic();
+  TestOnlineTrainerColdStartServing();
+  TestOnlineTrainerCreateValidation();
+}
+
+}  // namespace hsgd
+
+using hsgd::RunAllTests;
+TEST_MAIN()
