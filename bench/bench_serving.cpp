@@ -384,7 +384,7 @@ int main(int argc, char** argv) {
         while (next->version() > seen &&
                !max_version.compare_exchange_weak(seen, next->version())) {
         }
-        server->Publish(next);
+        HSGD_CHECK_OK(server->Publish(next));
         ++publishes;
         ++g;
       }

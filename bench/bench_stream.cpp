@@ -201,7 +201,7 @@ int main(int argc, char** argv) {
 
     auto trainer = OnlineTrainer::Create(
         *std::move(session), std::move(users), std::move(items),
-        [srv](serve::SnapshotPtr snap) { srv->Publish(std::move(snap)); },
+        [srv](serve::SnapshotPtr snap) { return srv->Publish(std::move(snap)); },
         ctx.obs.registry.get());
     HSGD_CHECK_OK(trainer.status());
     OnlineTrainer* ot = trainer->get();

@@ -328,6 +328,13 @@ Status WriteCheckpoint(const std::string& path,
   w.F64(ckpt.scheduler_rng.spare);
   w.I64(ckpt.stolen_by_gpus);
   w.I64(ckpt.stolen_by_cpus);
+  // v5: growth state + WAL high-water mark.
+  for (int i = 0; i < 4; ++i) w.U64(ckpt.growth_rng.s[i]);
+  w.U8(ckpt.growth_rng.has_spare ? 1 : 0);
+  w.F64(ckpt.growth_rng.spare);
+  w.F64(ckpt.rating_sum);
+  w.I64(ckpt.rating_count);
+  w.U64(ckpt.wal_seq);
   w.U64(ckpt.gpu_streams.size());
   for (const GpuStreamState& s : ckpt.gpu_streams) {
     w.F64(s.h2d_free);
@@ -415,6 +422,14 @@ Status ReadCheckpointBody(FILE* f, const std::string& path,
     ckpt.scheduler_rng.spare = r.F64();
     ckpt.stolen_by_gpus = r.I64();
     ckpt.stolen_by_cpus = r.I64();
+    // v5 growth state (fixed size, so the factors-only fast path reads
+    // it too rather than special-casing a seek).
+    for (int i = 0; i < 4; ++i) ckpt.growth_rng.s[i] = r.U64();
+    ckpt.growth_rng.has_spare = r.U8() != 0;
+    ckpt.growth_rng.spare = r.F64();
+    ckpt.rating_sum = r.F64();
+    ckpt.rating_count = r.I64();
+    ckpt.wal_seq = r.U64();
     const uint64_t num_gpus = r.U64();
     if (r.ok() && num_gpus <= 4096) {
       if (factors_only) {

@@ -47,7 +47,15 @@ inline constexpr uint64_t kCheckpointMagic = 0x485347444348504Bull;  // "HSGDCHP
 // policy), so a restored run keeps autosaving the way the original did.
 // Runtime fault state (dead devices, attached FaultPlan) is NOT stored —
 // like observers, plans are re-attached by the caller after Restore.
-inline constexpr uint32_t kCheckpointVersion = 4;
+// v5: the online-append growth state (cold-row init RNG, exact running
+// rating moments) and the WAL high-water mark. A grown session restored
+// WITHOUT these would re-seed the growth stream and recompute the rating
+// mean from dataset stats — both FP-divergent from the incremental
+// accumulation, silently breaking bit-identical append replay after a
+// crash. The wal_seq mark is what stream recovery uses to split the WAL
+// into already-applied records (rebuild the dataset only) and unapplied
+// ones (re-drive through training).
+inline constexpr uint32_t kCheckpointVersion = 5;
 
 /// Cheap identity of the data a session was trained on. Restore refuses
 /// a dataset whose fingerprint differs — resuming on different ratings
@@ -95,6 +103,16 @@ struct SessionCheckpoint {
   RngState scheduler_rng;
   int64_t stolen_by_gpus = 0;
   int64_t stolen_by_cpus = 0;
+
+  // v5: online-append growth state + stream durability mark.
+  RngState growth_rng;
+  double rating_sum = 0.0;
+  int64_t rating_count = 0;
+  /// Highest WAL sequence number applied to the session when this
+  /// checkpoint was taken (0 = no WAL / nothing streamed). See
+  /// stream/wal.h; written via Session::SaveCheckpoint's wal_seq
+  /// overload, consumed by stream::OnlineTrainer::Recover.
+  uint64_t wal_seq = 0;
 
   std::vector<GpuStreamState> gpu_streams;
   std::vector<TracePoint> trace;

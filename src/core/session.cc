@@ -357,6 +357,12 @@ Status Session::SetFaultPlan(const FaultPlan& plan) {
   const bool has_cpu = config_.algorithm != Algorithm::kGpuOnly;
   const bool has_gpu = config_.algorithm != Algorithm::kCpuOnly;
   for (const FaultSpec& spec : plan.specs) {
+    if (IsServeFault(spec.kind)) {
+      return Status::InvalidArgument(StrFormat(
+          "fault \"%s\" is a serve-loop kind; attach it to a "
+          "ServeFaultInjector (SplitFaultPlan separates mixed scripts)",
+          spec.ToString().c_str()));
+    }
     if (spec.kind == FaultKind::kCheckpointFault) continue;
     const bool gpu_target = spec.device_class == DeviceClass::kGpu;
     const int fleet = gpu_target ? (has_gpu ? ng : 0)
@@ -690,6 +696,13 @@ StatusOr<TracePoint> Session::RunEpochImpl(
           break;
         case FaultKind::kCheckpointFault:
           break;  // consumed by autosave attempts, never fires here
+        case FaultKind::kPublishPoison:
+        case FaultKind::kWalIo:
+        case FaultKind::kQueryStorm:
+        case FaultKind::kSlowShard:
+          // Serve kinds never reach the session: SetFaultPlan rejects
+          // them (fault/serve_injector.h fires them instead).
+          break;
       }
     }
   };
@@ -1177,7 +1190,8 @@ TrainStats Session::stats() const {
 
 // ---- Checkpoint / restore -------------------------------------------------
 
-Status Session::SaveCheckpoint(const std::string& path) const {
+Status Session::SaveCheckpoint(const std::string& path,
+                               uint64_t wal_seq) const {
   SessionCheckpoint ckpt;
   ckpt.config = config_;
   ckpt.dataset = FingerprintDataset(dataset_);
@@ -1194,6 +1208,10 @@ Status Session::SaveCheckpoint(const std::string& path) const {
   ckpt.scheduler_rng = scheduler_->rng_state();
   ckpt.stolen_by_gpus = scheduler_->stolen_by_gpus();
   ckpt.stolen_by_cpus = scheduler_->stolen_by_cpus();
+  ckpt.growth_rng = growth_rng_.SaveState();
+  ckpt.rating_sum = rating_sum_;
+  ckpt.rating_count = rating_count_;
+  ckpt.wal_seq = wal_seq;
   ckpt.gpu_streams.reserve(gpu_devices_.size());
   for (const auto& gpu : gpu_devices_) {
     ckpt.gpu_streams.push_back(gpu->stream_state());
@@ -1242,6 +1260,41 @@ StatusOr<std::unique_ptr<Session>> Session::Restore(const std::string& path,
   return session;
 }
 
+StatusOr<std::unique_ptr<Session>> Session::RestoreGrown(
+    const std::string& path, Dataset warm_dataset,
+    const std::vector<Ratings>& growth_batches) {
+  auto ckpt = ReadCheckpoint(path);
+  if (!ckpt.ok()) return ckpt.status();
+  auto session = Create(std::move(warm_dataset), ckpt->config);
+  if (!session.ok()) return session.status();
+  for (const Ratings& batch : growth_batches) {
+    HSGD_RETURN_IF_ERROR((*session)->AppendRatings(batch));
+  }
+  // The fingerprint is the exactness proof: warm data + replayed growth
+  // must reconstruct byte-for-byte the dataset the checkpoint was saved
+  // against, or the factors we are about to install describe different
+  // data.
+  DatasetFingerprint fp = FingerprintDataset((*session)->dataset_);
+  if (fp != ckpt->dataset) {
+    return Status::InvalidArgument(StrFormat(
+        "replayed growth does not reconstruct the checkpointed dataset "
+        "(stored %dx%d nnz=%lld, rebuilt %dx%d nnz=%lld) — WAL and "
+        "checkpoint disagree",
+        ckpt->dataset.num_rows, ckpt->dataset.num_cols,
+        static_cast<long long>(ckpt->dataset.train_nnz), fp.num_rows,
+        fp.num_cols, static_cast<long long>(fp.train_nnz)));
+  }
+  HSGD_RETURN_IF_ERROR((*session)->InstallCheckpoint(*ckpt));
+  // Replayed appends marked their blocks dirty, but the checkpoint was
+  // saved at an ingest-quiescent point: everything replayed is already
+  // trained into the installed factors. Clear, or the first TrainDirty
+  // after recovery would sweep blocks the uninterrupted run would not.
+  std::fill((*session)->dirty_.begin(), (*session)->dirty_.end(),
+            static_cast<uint8_t>(0));
+  (*session)->pending_nnz_ = 0;
+  return session;
+}
+
 Status Session::InstallCheckpoint(const SessionCheckpoint& ckpt) {
   if (ckpt.p.size() != model_->dense_p_size() ||
       ckpt.q.size() != model_->dense_q_size()) {
@@ -1258,9 +1311,21 @@ Status Session::InstallCheckpoint(const SessionCheckpoint& ckpt) {
     return Status::InvalidArgument(
         "checkpoint epoch counter disagrees with its trace");
   }
+  if (ckpt.rating_count <= 0 || !std::isfinite(ckpt.rating_sum)) {
+    return Status::InvalidArgument(
+        "checkpoint growth state is corrupt (rating moments)");
+  }
   model_->SetDense(ckpt.p, ckpt.q);
   scheduler_->set_rng_state(ckpt.scheduler_rng);
   scheduler_->set_steal_counters(ckpt.stolen_by_gpus, ckpt.stolen_by_cpus);
+  // Growth state: Init seeded growth_rng_ fresh and recomputed the
+  // rating moments from dataset stats — close, but FP-different from the
+  // incremental accumulation the saved session carried. Overwrite with
+  // the exact persisted values so post-restore appends draw the same
+  // cold-row factors the uninterrupted run would have.
+  growth_rng_.RestoreState(ckpt.growth_rng);
+  rating_sum_ = ckpt.rating_sum;
+  rating_count_ = ckpt.rating_count;
   for (size_t g = 0; g < gpu_devices_.size(); ++g) {
     gpu_devices_[g]->set_stream_state(ckpt.gpu_streams[g]);
   }

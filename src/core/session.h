@@ -277,6 +277,26 @@ class Session {
   static StatusOr<std::unique_ptr<Session>> Restore(const std::string& path,
                                                     Dataset dataset);
 
+  /// Restore for a session that GREW after its warm start (online
+  /// appends). Plain Restore cannot serve this case: Init cuts the block
+  /// grid from the dataset it is handed, so building from the grown data
+  /// yields different stratum boundaries than the crashed session's
+  /// warm-grid-plus-trailing-growth — structurally different, so
+  /// re-driven appends would diverge. This variant rebuilds the exact
+  /// history instead: Create over the WARM dataset (the one the crashed
+  /// session was created with), replay `growth_batches` through
+  /// AppendRatings in their original ingest order (reproducing the
+  /// trailing-stratum growth and block-tail bucketing bit for bit), then
+  /// verify the grown dataset against the checkpoint's fingerprint and
+  /// install the checkpoint. The replayed growth's dirty marks are
+  /// cleared afterwards: the checkpoint contract (see
+  /// stream::OnlineTrainer::Checkpoint) is that saves happen at
+  /// ingest-quiescent points, so every replayed rating was already
+  /// trained into the checkpointed factors.
+  static StatusOr<std::unique_ptr<Session>> RestoreGrown(
+      const std::string& path, Dataset warm_dataset,
+      const std::vector<Ratings>& growth_batches);
+
   ~Session();
 
   /// Advance one simulated epoch: schedule and run every block through
@@ -390,7 +410,18 @@ class Session {
   /// temp file + rename so a crash mid-write never corrupts an existing
   /// checkpoint. Only legal between epochs (which is the only time a
   /// session is observable anyway).
-  Status SaveCheckpoint(const std::string& path) const;
+  Status SaveCheckpoint(const std::string& path) const {
+    return SaveCheckpoint(path, 0);
+  }
+
+  /// SaveCheckpoint recording `wal_seq` as the WAL high-water mark
+  /// applied to this session — the durability contract between the
+  /// checkpoint and stream/wal.h's log. Restore carries it back out via
+  /// ReadCheckpoint (the session itself has no WAL state); the growth
+  /// RNG and exact rating moments ARE session state and round-trip with
+  /// every save, so appends after a restore stay bit-identical to the
+  /// uninterrupted run.
+  Status SaveCheckpoint(const std::string& path, uint64_t wal_seq) const;
 
  private:
   /// A simulated worker: one CPU thread (cpu != nullptr) or one GPU

@@ -45,28 +45,48 @@ Status ClauseError(const std::string& clause, const char* what) {
 }
 
 // Parses the trailing `@eN[+F][xS][forD][nC]` tail shared by all kinds.
+// Serve kinds spell the trigger `@r<round>` (same field, different
+// clock) and use `x`/`for`/`n` per the header's table.
 Status ParseTail(Cursor* c, const std::string& clause, FaultSpec* spec) {
-  if (!c->EatLiteral("@e")) return ClauseError(clause, "expected @e<epoch>");
+  const bool serve = IsServeFault(spec->kind);
+  if (serve) {
+    if (!c->EatLiteral("@r")) {
+      return ClauseError(clause, "expected @r<round>");
+    }
+  } else if (!c->EatLiteral("@e")) {
+    return ClauseError(clause, "expected @e<epoch>");
+  }
   if (!c->EatInt(&spec->epoch) || spec->epoch < 1) {
-    return ClauseError(clause, "epoch must be a positive integer");
+    return ClauseError(clause, serve
+                                   ? "round must be a positive integer"
+                                   : "epoch must be a positive integer");
   }
   if (c->EatLiteral("+")) {
+    if (serve) {
+      return ClauseError(clause, "+<fraction> only applies to @e kinds");
+    }
     if (!c->EatDouble(&spec->at_fraction) || spec->at_fraction < 0.0 ||
         spec->at_fraction > 1.0) {
       return ClauseError(clause, "fraction must be in [0,1]");
     }
   }
   if (c->EatLiteral("x")) {
-    if (spec->kind != FaultKind::kStraggler) {
-      return ClauseError(clause, "x<slowdown> only applies to slow:");
+    if (spec->kind != FaultKind::kStraggler &&
+        spec->kind != FaultKind::kQueryStorm &&
+        spec->kind != FaultKind::kSlowShard) {
+      return ClauseError(clause,
+                         "x<factor> only applies to slow:/storm/slowshard:");
     }
     if (!c->EatDouble(&spec->slowdown) || spec->slowdown <= 1.0) {
       return ClauseError(clause, "slowdown must be > 1");
     }
   }
   if (c->EatLiteral("for")) {
-    if (spec->kind != FaultKind::kStraggler) {
-      return ClauseError(clause, "for<duration> only applies to slow:");
+    if (spec->kind != FaultKind::kStraggler &&
+        spec->kind != FaultKind::kQueryStorm &&
+        spec->kind != FaultKind::kSlowShard) {
+      return ClauseError(
+          clause, "for<duration> only applies to slow:/storm/slowshard:");
     }
     if (!c->EatDouble(&spec->duration) || spec->duration <= 0.0) {
       return ClauseError(clause, "duration must be > 0");
@@ -74,8 +94,11 @@ Status ParseTail(Cursor* c, const std::string& clause, FaultSpec* spec) {
   }
   if (c->EatLiteral("n")) {
     if (spec->kind != FaultKind::kLinkFault &&
-        spec->kind != FaultKind::kCheckpointFault) {
-      return ClauseError(clause, "n<count> only applies to link:/ckpt");
+        spec->kind != FaultKind::kCheckpointFault &&
+        spec->kind != FaultKind::kWalIo &&
+        spec->kind != FaultKind::kPublishPoison) {
+      return ClauseError(clause,
+                         "n<count> only applies to link:/ckpt/walio/poison");
     }
     if (!c->EatInt(&spec->count) || spec->count < 1) {
       return ClauseError(clause, "count must be a positive integer");
@@ -118,8 +141,22 @@ StatusOr<FaultSpec> ParseClause(const std::string& clause) {
     }
   } else if (c.EatLiteral("ckpt")) {
     spec.kind = FaultKind::kCheckpointFault;
+  } else if (c.EatLiteral("poison")) {
+    spec.kind = FaultKind::kPublishPoison;
+  } else if (c.EatLiteral("walio")) {
+    spec.kind = FaultKind::kWalIo;
+  } else if (c.EatLiteral("storm")) {
+    spec.kind = FaultKind::kQueryStorm;
+  } else if (c.EatLiteral("slowshard:")) {
+    spec.kind = FaultKind::kSlowShard;
+    spec.device_class = DeviceClass::kCpuThread;  // shard index, not a device
+    if (!c.EatInt(&spec.device_index) || spec.device_index < 0) {
+      return ClauseError(clause, "shard index must be >= 0");
+    }
   } else {
-    return ClauseError(clause, "unknown kind (crash:/slow:/link:/ckpt)");
+    return ClauseError(clause,
+                       "unknown kind (crash:/slow:/link:/ckpt/"
+                       "poison/walio/storm/slowshard:)");
   }
   HSGD_RETURN_IF_ERROR(ParseTail(&c, clause, &spec));
   return spec;
@@ -141,8 +178,32 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kStraggler: return "straggler";
     case FaultKind::kLinkFault: return "link-fault";
     case FaultKind::kCheckpointFault: return "checkpoint-fault";
+    case FaultKind::kPublishPoison: return "publish-poison";
+    case FaultKind::kWalIo: return "wal-io";
+    case FaultKind::kQueryStorm: return "query-storm";
+    case FaultKind::kSlowShard: return "slow-shard";
   }
   return "unknown";
+}
+
+bool IsServeFault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPublishPoison:
+    case FaultKind::kWalIo:
+    case FaultKind::kQueryStorm:
+    case FaultKind::kSlowShard:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void SplitFaultPlan(const FaultPlan& plan, FaultPlan* train,
+                    FaultPlan* serve) {
+  for (const FaultSpec& spec : plan.specs) {
+    FaultPlan* half = IsServeFault(spec.kind) ? serve : train;
+    if (half != nullptr) half->specs.push_back(spec);
+  }
 }
 
 std::string FaultSpec::ToString() const {
@@ -184,6 +245,31 @@ std::string FaultSpec::ToString() const {
       AppendFraction(&out, at_fraction);
       std::snprintf(buf, sizeof(buf), "n%d", count);
       out += buf;
+      break;
+    case FaultKind::kPublishPoison:
+      std::snprintf(buf, sizeof(buf), "poison@r%dn%d", epoch, count);
+      out = buf;
+      break;
+    case FaultKind::kWalIo:
+      std::snprintf(buf, sizeof(buf), "walio@r%dn%d", epoch, count);
+      out = buf;
+      break;
+    case FaultKind::kQueryStorm:
+      std::snprintf(buf, sizeof(buf), "storm@r%dx%g", epoch, slowdown);
+      out = buf;
+      if (duration > 0.0) {
+        std::snprintf(buf, sizeof(buf), "for%g", duration);
+        out += buf;
+      }
+      break;
+    case FaultKind::kSlowShard:
+      std::snprintf(buf, sizeof(buf), "slowshard:%d@r%dx%g", device_index,
+                    epoch, slowdown);
+      out = buf;
+      if (duration > 0.0) {
+        std::snprintf(buf, sizeof(buf), "for%g", duration);
+        out += buf;
+      }
       break;
   }
   return out;

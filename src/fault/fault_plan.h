@@ -16,6 +16,18 @@
 // (default 0 = epoch start). `x` is the slowdown factor, `for` the
 // degraded window in simulated seconds (omitted = permanent), `n` a
 // count of transfers/writes to fail.
+//
+// Serve/stream kinds extend the grammar to the online path. Their
+// trigger clock is the PUBLISH ROUND of the serve loop (`@rN`, 1-based —
+// the train kinds' epoch field, reinterpreted), their durations count
+// rounds, and they are fired by fault/serve_injector.h, never by the
+// session (Session::SetFaultPlan rejects them):
+//
+//   poison@r3n2              poison the snapshots published in rounds
+//                            3..4 (NaN factors; n = publishes, default 1)
+//   walio@r2n4               next 4 WAL appends fail, starting round 2
+//   storm@r4x8for2           8x client load for rounds 4..5
+//   slowshard:1@r5x16for3    serve shard 1 stalls 16x for rounds 5..7
 
 #pragma once
 
@@ -34,25 +46,38 @@ enum class FaultKind {
   kStraggler = 2,     // transient (or permanent) slowdown
   kLinkFault = 3,     // next `count` PCIe transfers fail-and-retry
   kCheckpointFault = 4,  // next `count` checkpoint writes fail
+  // Serve/stream kinds (round-triggered; see file comment).
+  kPublishPoison = 5,  // next `count` published snapshots carry NaNs
+  kWalIo = 6,          // next `count` WAL appends fail
+  kQueryStorm = 7,     // client load multiplied for a round window
+  kSlowShard = 8,      // one serve shard stalls for a round window
 };
 
 const char* FaultKindName(FaultKind kind);
 
+/// True for the kinds fired by the serve-loop injector
+/// (fault/serve_injector.h) rather than the training session.
+bool IsServeFault(FaultKind kind);
+
 struct FaultSpec {
   FaultKind kind = FaultKind::kGpuCrash;
-  /// Target device (unused for kCheckpointFault).
+  /// Target device (unused for kCheckpointFault and the serve kinds —
+  /// except kSlowShard, which reads device_index as the shard).
   DeviceClass device_class = DeviceClass::kGpu;
   int device_index = 0;
-  /// 1-based epoch the fault arms in.
+  /// 1-based epoch (train kinds) or publish round (serve kinds) the
+  /// fault arms in.
   int epoch = 1;
   /// Fires once this fraction of the epoch's blocks have been released
-  /// (0.0 = epoch start).
+  /// (0.0 = epoch start). Train kinds only.
   double at_fraction = 0.0;
-  /// kStraggler: multiplicative slowdown (> 1).
+  /// kStraggler / kQueryStorm / kSlowShard: multiplicative factor (> 1).
   double slowdown = 8.0;
-  /// kStraggler: degraded window in sim-seconds; <= 0 means permanent.
+  /// kStraggler: degraded window in sim-seconds; kQueryStorm /
+  /// kSlowShard: window in publish rounds. <= 0 means permanent.
   double duration = 0.0;
-  /// kLinkFault / kCheckpointFault: how many operations fail.
+  /// kLinkFault / kCheckpointFault / kWalIo / kPublishPoison: how many
+  /// operations fail (or publishes are poisoned).
   int count = 1;
 
   std::string ToString() const;
@@ -68,5 +93,12 @@ struct FaultPlan {
   /// clauses is ignored; an empty string yields an empty plan.
   static StatusOr<FaultPlan> Parse(const std::string& text);
 };
+
+/// Split a mixed plan into its session half (crash/slow/link/ckpt, fed
+/// to Session::SetFaultPlan) and its serve half (poison/walio/storm/
+/// slowshard, fed to ServeFaultInjector) — one script drives the whole
+/// chaos scenario. Either output may be null to discard that half.
+void SplitFaultPlan(const FaultPlan& plan, FaultPlan* train,
+                    FaultPlan* serve);
 
 }  // namespace hsgd

@@ -1,6 +1,8 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -27,13 +29,35 @@ StatusOr<std::unique_ptr<RecServer>> RecServer::Create(
     return Status::InvalidArgument(
         StrFormat("max_queue must be >= 0, got %d", config.max_queue));
   }
+  if (config.breaker_enabled) {
+    if (config.breaker_window < 1 || config.breaker_probes < 1) {
+      return Status::InvalidArgument(StrFormat(
+          "breaker window/probes must be positive, got %d/%d",
+          config.breaker_window, config.breaker_probes));
+    }
+    if (config.breaker_miss_ratio <= 0.0 ||
+        config.breaker_miss_ratio > 1.0) {
+      return Status::InvalidArgument(
+          StrFormat("breaker_miss_ratio must be in (0, 1], got %g",
+                    config.breaker_miss_ratio));
+    }
+    if (config.breaker_open_s <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("breaker_open_s must be positive, got %g",
+                    config.breaker_open_s));
+    }
+  }
   auto resolved = ResolveKernelKind(config.kernel);
   HSGD_RETURN_IF_ERROR(resolved.status());
 
   auto server = std::unique_ptr<RecServer>(new RecServer(config));
   server->config_.kernel = *resolved;
   server->ops_ = &GetKernelOps(*resolved);
-  if (initial != nullptr) server->Publish(std::move(initial));
+  if (initial != nullptr) {
+    // A corrupt initial snapshot fails construction outright — there is
+    // no last-known-good to fall back to yet.
+    HSGD_RETURN_IF_ERROR(server->Publish(std::move(initial)));
+  }
 
   if (metrics != nullptr) {
     server->m_requests_ = metrics->counter("serve.requests");
@@ -45,6 +69,17 @@ StatusOr<std::unique_ptr<RecServer>> RecServer::Create(
     server->m_invalid_ = metrics->counter("serve.invalid");
     server->m_batches_ = metrics->counter("serve.batches");
     server->m_publishes_ = metrics->counter("serve.snapshot_publishes");
+    server->m_publish_rejected_ =
+        metrics->counter("serve.publish_rejected");
+    server->m_breaker_rejected_ =
+        metrics->counter("serve.breaker.rejected");
+    server->m_predictive_rejected_ =
+        metrics->counter("serve.breaker.predictive_rejected");
+    server->m_breaker_opens_ = metrics->counter("serve.breaker.opens");
+    server->m_breaker_half_opens_ =
+        metrics->counter("serve.breaker.half_opens");
+    server->m_breaker_closes_ = metrics->counter("serve.breaker.closes");
+    server->m_open_shards_ = metrics->gauge("serve.breaker.open_shards");
     server->m_snapshot_version_ = metrics->gauge("serve.snapshot_version");
     // 10us .. ~84s exponential edges: covers sub-ms in-process serving
     // through badly overloaded tails.
@@ -75,12 +110,19 @@ StatusOr<std::unique_ptr<RecServer>> RecServer::Create(
 
 RecServer::~RecServer() { Shutdown(); }
 
-void RecServer::Publish(SnapshotPtr snapshot) {
+Status RecServer::Publish(SnapshotPtr snapshot) {
   const uint64_t version = snapshot != nullptr ? snapshot->version() : 0;
-  holder_.Publish(std::move(snapshot));
+  Status published = holder_.PublishValidated(std::move(snapshot));
+  if (!published.ok()) {
+    // Rejection leaves the last-known-good snapshot serving untouched.
+    counts_.publish_rejected.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(m_publish_rejected_);
+    return published;
+  }
   counts_.publishes.fetch_add(1, std::memory_order_relaxed);
   obs::Increment(m_publishes_);
   obs::Set(m_snapshot_version_, static_cast<double>(version));
+  return Status::Ok();
 }
 
 std::future<StatusOr<TopKResponse>> RecServer::Submit(
@@ -98,12 +140,20 @@ std::future<StatusOr<TopKResponse>> RecServer::Submit(
   Shard& shard = *shards_[ShardFor(request)];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (stopping_.load(std::memory_order_acquire)) {
+    if (stopping_.load(std::memory_order_acquire) ||
+        draining_.load(std::memory_order_acquire)) {
       counts_.rejected.fetch_add(1, std::memory_order_relaxed);
       obs::Increment(m_rejected_);
       pending.promise.set_value(
           Status::Unavailable("server is shutting down"));
       return future;
+    }
+    if (BreakerLive()) {
+      Status admitted = AdmitUnderControl(shard, pending.enqueue_s);
+      if (!admitted.ok()) {
+        pending.promise.set_value(admitted);
+        return future;
+      }
     }
     if (config_.max_queue > 0 &&
         shard.queue.size() >= static_cast<size_t>(config_.max_queue)) {
@@ -117,6 +167,117 @@ std::future<StatusOr<TopKResponse>> RecServer::Submit(
   }
   shard.cv.notify_one();
   return future;
+}
+
+Status RecServer::AdmitUnderControl(Shard& shard, double now_s) {
+  // Open: fail fast until the cooldown expires, then half-open with a
+  // fresh probe budget.
+  if (shard.breaker == BreakerState::kOpen) {
+    if (now_s < shard.open_until_s) {
+      counts_.breaker_rejected.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(m_breaker_rejected_);
+      return Status::Unavailable(
+          "circuit open: shard shedding after sustained deadline misses");
+    }
+    shard.breaker = BreakerState::kHalfOpen;
+    shard.probes_admitted = 0;
+    shard.probes_resolved = 0;
+    shard.probe_missed = false;
+    counts_.breaker_half_opens.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(m_breaker_half_opens_);
+    NoteShardUnopened();
+  }
+  // Half-open: admit exactly the probe budget, reject the rest until the
+  // probes resolve one way or the other.
+  if (shard.breaker == BreakerState::kHalfOpen) {
+    if (shard.probes_admitted >= config_.breaker_probes) {
+      counts_.breaker_rejected.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(m_breaker_rejected_);
+      return Status::Unavailable(
+          "circuit half-open: probe budget exhausted");
+    }
+    ++shard.probes_admitted;
+    return Status::Ok();  // probes bypass the predictive check
+  }
+  // Closed: shed predictively when the queue-depth * EWMA service time
+  // projection says this request would miss its deadline anyway —
+  // cheaper than admitting it and shedding at dequeue.
+  if (shard.ewma_service_s > 0.0) {
+    const double projected_s =
+        (static_cast<double>(shard.queue.size()) + 1.0) *
+        shard.ewma_service_s;
+    if (projected_s > config_.latency_budget_s) {
+      counts_.predictive_rejected.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(m_predictive_rejected_);
+      return Status::Unavailable(StrFormat(
+          "projected wait %.2fms exceeds the %.2fms budget",
+          projected_s * 1e3, config_.latency_budget_s * 1e3));
+    }
+  }
+  return Status::Ok();
+}
+
+void RecServer::UpdateControlAfterBatch(Shard& shard, double now_s,
+                                        int total, int miss,
+                                        double service_s) {
+  if (service_s > 0.0) {
+    // EWMA with a 0.2 step: reacts within a handful of batches without
+    // flapping on one slow sweep.
+    shard.ewma_service_s =
+        shard.ewma_service_s <= 0.0
+            ? service_s
+            : 0.8 * shard.ewma_service_s + 0.2 * service_s;
+  }
+  if (total <= 0) return;
+  if (shard.breaker == BreakerState::kHalfOpen) {
+    shard.probes_resolved += total;
+    if (miss > 0) shard.probe_missed = true;
+    if (shard.probe_missed) {
+      // A probe missed its deadline: back to open for another cooldown.
+      shard.breaker = BreakerState::kOpen;
+      shard.open_until_s = now_s + config_.breaker_open_s;
+      counts_.breaker_opens.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(m_breaker_opens_);
+      NoteShardOpened();
+    } else if (shard.probes_resolved >= config_.breaker_probes) {
+      // Every probe hit: the shard has recovered.
+      shard.breaker = BreakerState::kClosed;
+      shard.window_total = 0;
+      shard.window_miss = 0;
+      counts_.breaker_closes.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(m_breaker_closes_);
+    }
+    return;
+  }
+  if (shard.breaker == BreakerState::kClosed) {
+    shard.window_total += total;
+    shard.window_miss += miss;
+    if (shard.window_total >= config_.breaker_window) {
+      if (static_cast<double>(shard.window_miss) >=
+          config_.breaker_miss_ratio *
+              static_cast<double>(shard.window_total)) {
+        shard.breaker = BreakerState::kOpen;
+        shard.open_until_s = now_s + config_.breaker_open_s;
+        counts_.breaker_opens.fetch_add(1, std::memory_order_relaxed);
+        obs::Increment(m_breaker_opens_);
+        NoteShardOpened();
+      }
+      shard.window_total = 0;
+      shard.window_miss = 0;
+    }
+  }
+  // Open with no admission: completions here are stragglers admitted
+  // before the trip; they don't feed any window.
+}
+
+void RecServer::NoteShardOpened() {
+  const int open = open_shards_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::Set(m_open_shards_, static_cast<double>(open));
+}
+
+void RecServer::NoteShardUnopened() {
+  const int open = open_shards_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  obs::Set(m_open_shards_, static_cast<double>(open));
 }
 
 StatusOr<TopKResponse> RecServer::Query(const TopKRequest& request) {
@@ -144,13 +305,33 @@ void RecServer::ShardLoop(int shard_index) {
         batch.push_back(std::move(shard.queue.front()));
         shard.queue.pop_front();
       }
+      shard.in_flight = true;
     }
     ProcessBatch(shard_index, &batch);
+    {
+      // Batch fully resolved; wake any Drain() waiting on this shard.
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.in_flight = false;
+    }
+    shard.cv.notify_all();
   }
 }
 
 void RecServer::ProcessBatch(int shard_index, std::vector<Pending>* batch) {
+  if (stall_hook_) {
+    // Chaos hook: a degraded shard stalls before scoring (slowshard).
+    const double stall_s = stall_hook_(shard_index);
+    if (stall_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(stall_s));
+    }
+  }
   const double batch_begin_s = clock_.Seconds();
+  // Breaker window feed: completions and deadline misses in this batch
+  // (a shed request is a definite miss; cold/invalid resolve instantly
+  // and count as hits).
+  int win_total = 0;
+  int win_miss = 0;
+  double service_sample_s = 0.0;
   // ONE snapshot per batch: a concurrent Publish changes later batches,
   // never the one in flight, so a batch's answers can't mix two models.
   const SnapshotPtr snapshot = holder_.Acquire();
@@ -174,6 +355,8 @@ void RecServer::ProcessBatch(int shard_index, std::vector<Pending>* batch) {
     if (config_.latency_budget_s > 0.0 &&
         batch_begin_s - pending.enqueue_s > config_.latency_budget_s) {
       ++shed;
+      ++win_total;
+      ++win_miss;
       counts_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
       obs::Increment(m_shed_);
       pending.promise.set_value(Status::DeadlineExceeded(StrFormat(
@@ -186,6 +369,7 @@ void RecServer::ProcessBatch(int shard_index, std::vector<Pending>* batch) {
     if (pending.request.raw) {
       auto resolved = snapshot->DenseUser(pending.request.user);
       if (!resolved.ok()) {
+        ++win_total;
         counts_.cold_users.fetch_add(1, std::memory_order_relaxed);
         obs::Increment(m_cold_);
         pending.promise.set_value(resolved.status());
@@ -195,6 +379,7 @@ void RecServer::ProcessBatch(int shard_index, std::vector<Pending>* batch) {
     } else {
       if (pending.request.user < 0 ||
           pending.request.user > INT32_MAX) {
+        ++win_total;
         counts_.invalid.fetch_add(1, std::memory_order_relaxed);
         obs::Increment(m_invalid_);
         pending.promise.set_value(Status::InvalidArgument(StrFormat(
@@ -219,8 +404,11 @@ void RecServer::ProcessBatch(int shard_index, std::vector<Pending>* batch) {
         BatchTopK(*snapshot, queries.data(), queries.size(), ops_,
                   &scratch);
     const double done_s = clock_.Seconds();
+    service_sample_s = (done_s - batch_begin_s) /
+                       static_cast<double>(queries.size());
     for (size_t qi = 0; qi < results.size(); ++qi) {
       Pending& pending = (*batch)[live[qi]];
+      ++win_total;
       if (!results[qi].ok()) {
         counts_.invalid.fetch_add(1, std::memory_order_relaxed);
         obs::Increment(m_invalid_);
@@ -242,11 +430,19 @@ void RecServer::ProcessBatch(int shard_index, std::vector<Pending>* batch) {
       obs::Observe(m_latency_, response.latency_s);
       if (config_.latency_budget_s > 0.0 &&
           response.latency_s > config_.latency_budget_s) {
+        ++win_miss;
         counts_.deadline_miss.fetch_add(1, std::memory_order_relaxed);
         obs::Increment(m_deadline_miss_);
       }
       pending.promise.set_value(std::move(response));
     }
+  }
+
+  if (BreakerLive() && (win_total > 0 || service_sample_s > 0.0)) {
+    Shard& control_shard = *shards_[shard_index];
+    std::lock_guard<std::mutex> lock(control_shard.mu);
+    UpdateControlAfterBatch(control_shard, clock_.Seconds(), win_total,
+                            win_miss, service_sample_s);
   }
 
   if (tracer_ != nullptr) {
@@ -262,8 +458,24 @@ void RecServer::ProcessBatch(int shard_index, std::vector<Pending>* batch) {
   }
 }
 
+void RecServer::Drain() {
+  draining_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    // Wake the worker for anything still queued, then wait for it to
+    // resolve every promise. A Submit that raced the draining_ store and
+    // enqueued is simply part of what we wait for — nothing is dropped.
+    shard->cv.notify_all();
+    shard->cv.wait(lock,
+                   [&] { return shard->queue.empty() && !shard->in_flight; });
+  }
+}
+
 void RecServer::Shutdown() {
   if (joined_) return;
+  // Drain first: every already-admitted request resolves its future
+  // before any worker is asked to exit, so no promise is ever abandoned.
+  Drain();
   stopping_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
     // The store above is ordered before this lock/unlock pair, so a
@@ -290,6 +502,18 @@ ServeCounters RecServer::counters() const {
   counters.invalid = counts_.invalid.load(std::memory_order_relaxed);
   counters.batches = counts_.batches.load(std::memory_order_relaxed);
   counters.publishes = counts_.publishes.load(std::memory_order_relaxed);
+  counters.publish_rejected =
+      counts_.publish_rejected.load(std::memory_order_relaxed);
+  counters.breaker_rejected =
+      counts_.breaker_rejected.load(std::memory_order_relaxed);
+  counters.predictive_rejected =
+      counts_.predictive_rejected.load(std::memory_order_relaxed);
+  counters.breaker_opens =
+      counts_.breaker_opens.load(std::memory_order_relaxed);
+  counters.breaker_half_opens =
+      counts_.breaker_half_opens.load(std::memory_order_relaxed);
+  counters.breaker_closes =
+      counts_.breaker_closes.load(std::memory_order_relaxed);
   return counters;
 }
 

@@ -30,6 +30,36 @@
 // that completes over budget still returns its result, counted as a
 // deadline miss.
 //
+// Overload control is ADAPTIVE when enabled (breaker_enabled + a latency
+// budget): admission rejects work the deadline math says cannot be
+// served in time, instead of waiting for a static queue bound to fill.
+// Two mechanisms layer on the hard max_queue cap, both per shard:
+//
+//   predictive shedding  an EWMA of per-request service time projects
+//                        the wait a new request would inherit
+//                        ((queued+1) * ewma); a projection past the
+//                        budget rejects at Submit — cheaper than
+//                        admitting and shedding at dequeue.
+//   circuit breaker      a sliding window of completions tracks the
+//                        deadline-miss ratio. Sustained misses OPEN the
+//                        shard's breaker: admission fails fast for a
+//                        cooldown, letting the queue clear. After the
+//                        cooldown the breaker HALF-OPENS and admits a
+//                        probe budget; an all-hit probe set closes it,
+//                        any probe miss re-opens. The hysteresis
+//                        (windowed open, probed close) keeps the breaker
+//                        from flapping on noise.
+//
+// Shutdown is graceful: Drain() stops admission (new submits fail
+// Unavailable) and blocks until every queued request and in-flight batch
+// has resolved its promise, so no future is ever abandoned; Shutdown =
+// Drain + join.
+//
+// Publication is validated: Publish runs the snapshot through
+// FactorSnapshot::Validate and REJECTS corrupt candidates (typed error,
+// publish_rejected counter) — serving continues on the last-known-good
+// snapshot. See serve/snapshot.h.
+//
 // All counters/histograms/spans go through borrowed obs/ sinks (may be
 // null); a small always-on atomic counter block backs the bench and
 // tests without requiring a registry.
@@ -39,6 +69,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <vector>
@@ -73,6 +104,22 @@ struct ServeConfig {
   double latency_budget_s = 0.0;
   /// Scoring kernel (resolved at Create; kAuto = best supported).
   KernelKind kernel = KernelKind::kAuto;
+
+  // Adaptive overload control (file comment). Requires a positive
+  // latency_budget_s; without one there is no deadline to adapt to and
+  // the flag is ignored.
+  /// Master switch for the per-shard breaker + predictive shedding.
+  bool breaker_enabled = false;
+  /// Completions per miss-ratio evaluation window.
+  int breaker_window = 64;
+  /// Deadline-miss ratio (shed + late completions) that opens the
+  /// breaker, in (0, 1].
+  double breaker_miss_ratio = 0.5;
+  /// Fail-fast cooldown after opening, in seconds, before half-opening.
+  double breaker_open_s = 0.05;
+  /// Probe requests admitted half-open; all must hit the deadline to
+  /// close the breaker, one miss re-opens it.
+  int breaker_probes = 8;
 };
 
 struct TopKRequest {
@@ -106,6 +153,12 @@ struct ServeCounters {
   int64_t invalid = 0;         // malformed query (range/k)
   int64_t batches = 0;         // scoring sweeps run
   int64_t publishes = 0;       // snapshots installed
+  int64_t publish_rejected = 0;    // corrupt snapshots refused
+  int64_t breaker_rejected = 0;    // rejected while a breaker was open
+  int64_t predictive_rejected = 0; // rejected by projected-wait math
+  int64_t breaker_opens = 0;       // closed/half-open -> open transitions
+  int64_t breaker_half_opens = 0;  // open -> half-open transitions
+  int64_t breaker_closes = 0;      // half-open -> closed transitions
 };
 
 class RecServer {
@@ -126,8 +179,11 @@ class RecServer {
 
   /// Install a new snapshot without blocking in-flight queries — batches
   /// already scoring finish on the snapshot they pinned; later batches
-  /// see the new one.
-  void Publish(SnapshotPtr snapshot);
+  /// see the new one. The candidate is validated first
+  /// (SnapshotHolder::PublishValidated): a null or corrupt snapshot is
+  /// REJECTED with a typed error, counted in publish_rejected, and the
+  /// last-known-good snapshot keeps serving.
+  Status Publish(SnapshotPtr snapshot);
   /// The snapshot new batches would score against right now.
   SnapshotPtr CurrentSnapshot() const { return holder_.Acquire(); }
 
@@ -137,9 +193,25 @@ class RecServer {
   /// Submit + wait, for callers with nothing to overlap.
   StatusOr<TopKResponse> Query(const TopKRequest& request);
 
-  /// Stop admitting, drain every queued request, join the workers.
-  /// Idempotent; the destructor calls it.
+  /// Graceful quiesce: stop admitting (new submits fail Unavailable),
+  /// then block until every queued request and in-flight batch has
+  /// resolved its promise. Workers stay alive and a later Publish still
+  /// works, but admission never reopens. Safe to call from any thread;
+  /// idempotent.
+  void Drain();
+
+  /// Drain, then join the workers. Idempotent; the destructor calls it.
+  /// Any Submit racing Shutdown either lands before the drain (and is
+  /// fully served) or fails Unavailable — its future always resolves.
   void Shutdown();
+
+  /// Chaos/test hook, called at the top of every batch with the shard
+  /// index; a positive return stalls that shard's worker for that many
+  /// seconds before scoring (simulating a degraded shard). Install
+  /// before traffic starts; not synchronized against in-flight batches.
+  void SetBatchStallHook(std::function<double(int)> hook) {
+    stall_hook_ = std::move(hook);
+  }
 
   ServeCounters counters() const;
   const ServeConfig& config() const { return config_; }
@@ -151,11 +223,31 @@ class RecServer {
     std::promise<StatusOr<TopKResponse>> promise;
   };
 
-  /// One shard: a mutex/cv guarded queue its worker drains in batches.
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+  /// One shard: a mutex/cv guarded queue its worker drains in batches,
+  /// plus the shard's overload-control state (all guarded by `mu`; the
+  /// worker touches it once per batch, admission once per submit).
   struct alignas(64) Shard {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Pending> queue;
+    /// True while the worker is scoring a dequeued batch; Drain waits
+    /// for queue.empty() && !in_flight on `cv`.
+    bool in_flight = false;
+    // --- breaker + predictive admission (breaker_enabled only) ---
+    BreakerState breaker = BreakerState::kClosed;
+    /// EWMA of per-request service seconds (0 until the first batch).
+    double ewma_service_s = 0.0;
+    /// Sliding completion window feeding the miss-ratio evaluation.
+    int window_total = 0;
+    int window_miss = 0;
+    /// Server-clock time the open cooldown expires.
+    double open_until_s = 0.0;
+    /// Half-open probe accounting.
+    int probes_admitted = 0;
+    int probes_resolved = 0;
+    bool probe_missed = false;
   };
 
   explicit RecServer(const ServeConfig& config);
@@ -163,6 +255,23 @@ class RecServer {
   void ShardLoop(int shard_index);
   /// Answer (or shed) one dequeued batch against a single snapshot.
   void ProcessBatch(int shard_index, std::vector<Pending>* batch);
+  /// True when adaptive overload control is live (flag + budget).
+  bool BreakerLive() const {
+    return config_.breaker_enabled && config_.latency_budget_s > 0.0;
+  }
+  /// Admission-side breaker/predictive gate; call with `shard.mu` held.
+  /// Ok admits; a typed error rejects (already counted).
+  Status AdmitUnderControl(Shard& shard, double now_s);
+  /// Completion-side state machine step; call with `shard.mu` held.
+  /// `total`/`miss` are this batch's completions and deadline misses
+  /// (shed requests count as misses), `service_s` the per-request
+  /// service-time sample.
+  void UpdateControlAfterBatch(Shard& shard, double now_s, int total,
+                               int miss, double service_s);
+  /// Breaker transition helpers: bump the open-shard count (mirrored to
+  /// the serve.breaker.open_shards gauge) as shards open/close.
+  void NoteShardOpened();
+  void NoteShardUnopened();
 
   int ShardFor(const TopKRequest& request) const {
     return static_cast<int>(static_cast<uint64_t>(request.user) %
@@ -178,7 +287,12 @@ class RecServer {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<bool> stopping_{false};
+  /// Set by Drain: admission closed, workers still draining/alive.
+  std::atomic<bool> draining_{false};
   bool joined_ = false;
+  /// Shards currently in the open (fail-fast) breaker state.
+  std::atomic<int> open_shards_{0};
+  std::function<double(int)> stall_hook_;
 
   struct {
     std::atomic<int64_t> requests{0};
@@ -190,6 +304,12 @@ class RecServer {
     std::atomic<int64_t> invalid{0};
     std::atomic<int64_t> batches{0};
     std::atomic<int64_t> publishes{0};
+    std::atomic<int64_t> publish_rejected{0};
+    std::atomic<int64_t> breaker_rejected{0};
+    std::atomic<int64_t> predictive_rejected{0};
+    std::atomic<int64_t> breaker_opens{0};
+    std::atomic<int64_t> breaker_half_opens{0};
+    std::atomic<int64_t> breaker_closes{0};
   } counts_;
 
   // Borrowed obs sinks + pre-resolved handles (null when detached).
@@ -203,7 +323,14 @@ class RecServer {
   obs::Counter* m_invalid_ = nullptr;
   obs::Counter* m_batches_ = nullptr;
   obs::Counter* m_publishes_ = nullptr;
+  obs::Counter* m_publish_rejected_ = nullptr;
+  obs::Counter* m_breaker_rejected_ = nullptr;
+  obs::Counter* m_predictive_rejected_ = nullptr;
+  obs::Counter* m_breaker_opens_ = nullptr;
+  obs::Counter* m_breaker_half_opens_ = nullptr;
+  obs::Counter* m_breaker_closes_ = nullptr;
   obs::Gauge* m_snapshot_version_ = nullptr;
+  obs::Gauge* m_open_shards_ = nullptr;
   obs::Histogram* m_latency_ = nullptr;
   obs::Histogram* m_batch_size_ = nullptr;
 };

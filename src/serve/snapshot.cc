@@ -1,7 +1,9 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -118,6 +120,94 @@ FactorSnapshot::FromCheckpoint(const std::string& path,
                           factors->dataset.num_rows,
                           factors->dataset.num_cols, factors->dataset.k,
                           rated, version, users, items);
+}
+
+namespace {
+
+/// Index of the first non-finite float in [data, data+n), or -1. The
+/// scan is branch-light on the hot (all-finite) path: isfinite compiles
+/// to a compare against the exponent mask, and the buffer is the padded
+/// aligned layout so it vectorizes cleanly.
+int64_t FirstNonFinite(const float* data, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Status FactorSnapshot::Validate() const {
+  if (num_users_ <= 0 || num_items_ <= 0 || k_ <= 0) {
+    return Status::FailedPrecondition(StrFormat(
+        "snapshot v%llu has non-positive dimensions (%d x %d, k=%d)",
+        static_cast<unsigned long long>(version_), num_users_, num_items_,
+        k_));
+  }
+  if (stride_ < k_) {
+    return Status::FailedPrecondition(StrFormat(
+        "snapshot v%llu stride %d < rank %d",
+        static_cast<unsigned long long>(version_), stride_, k_));
+  }
+  if (p_ == nullptr || q_ == nullptr) {
+    return Status::FailedPrecondition(
+        StrFormat("snapshot v%llu is missing factor buffers",
+                  static_cast<unsigned long long>(version_)));
+  }
+  if (has_id_maps_ &&
+      (users_.size() != num_users_ || items_.size() != num_items_)) {
+    return Status::FailedPrecondition(StrFormat(
+        "snapshot v%llu id maps (%d users, %d items) do not cover the "
+        "factors (%d x %d)",
+        static_cast<unsigned long long>(version_), users_.size(),
+        items_.size(), num_users_, num_items_));
+  }
+  // Padding lanes are zero-filled by AllocateAlignedFloats, so scanning
+  // the whole padded buffers needs no per-row bounds logic.
+  const int64_t p_n = static_cast<int64_t>(num_users_) * stride_;
+  const int64_t q_n = static_cast<int64_t>(num_items_) * stride_;
+  int64_t bad = FirstNonFinite(p_.get(), p_n);
+  if (bad >= 0) {
+    return Status::FailedPrecondition(StrFormat(
+        "snapshot v%llu has a non-finite user factor (row %lld lane %lld)",
+        static_cast<unsigned long long>(version_),
+        static_cast<long long>(bad / stride_),
+        static_cast<long long>(bad % stride_)));
+  }
+  bad = FirstNonFinite(q_.get(), q_n);
+  if (bad >= 0) {
+    return Status::FailedPrecondition(StrFormat(
+        "snapshot v%llu has a non-finite item factor (row %lld lane %lld)",
+        static_cast<unsigned long long>(version_),
+        static_cast<long long>(bad / stride_),
+        static_cast<long long>(bad % stride_)));
+  }
+  return Status::Ok();
+}
+
+SnapshotPtr FactorSnapshot::PoisonedCopy(const FactorSnapshot& src) {
+  auto copy = std::shared_ptr<FactorSnapshot>(new FactorSnapshot());
+  copy->num_users_ = src.num_users_;
+  copy->num_items_ = src.num_items_;
+  copy->k_ = src.k_;
+  copy->stride_ = src.stride_;
+  copy->version_ = src.version_;
+  const size_t p_n = static_cast<size_t>(src.num_users_) * src.stride_;
+  const size_t q_n = static_cast<size_t>(src.num_items_) * src.stride_;
+  copy->p_ = AllocateAlignedFloats(p_n);
+  copy->q_ = AllocateAlignedFloats(q_n);
+  std::memcpy(copy->p_.get(), src.p_.get(), p_n * sizeof(float));
+  std::memcpy(copy->q_.get(), src.q_.get(), q_n * sizeof(float));
+  copy->rated_ = src.rated_;
+  if (src.has_id_maps_) {
+    copy->users_ = CopyIdMap(src.users_);
+    copy->items_ = CopyIdMap(src.items_);
+    copy->has_id_maps_ = true;
+  }
+  // One NaN in the first live lane — the minimal corruption the publish
+  // gate must reject.
+  copy->p_.get()[0] = std::numeric_limits<float>::quiet_NaN();
+  return copy;
 }
 
 StatusOr<int32_t> FactorSnapshot::DenseUser(int64_t raw_user) const {
@@ -241,6 +331,22 @@ void SnapshotHolder::Publish(SnapshotPtr snapshot) {
   slot.snap = std::move(snapshot);
   cur_.store(next);
   publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status SnapshotHolder::PublishValidated(SnapshotPtr snapshot) {
+  if (snapshot == nullptr) {
+    rejected_publishes_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("refusing to publish a null snapshot");
+  }
+  Status valid = snapshot->Validate();
+  if (!valid.ok()) {
+    // Reject WITHOUT touching the slots: the last-known-good snapshot
+    // keeps serving, which is the entire rollback policy.
+    rejected_publishes_.fetch_add(1, std::memory_order_relaxed);
+    return valid;
+  }
+  Publish(std::move(snapshot));
+  return Status::Ok();
 }
 
 }  // namespace hsgd::serve

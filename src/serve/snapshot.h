@@ -96,6 +96,23 @@ class FactorSnapshot {
       uint64_t version, const io::IdMap* users = nullptr,
       const io::IdMap* items = nullptr);
 
+  /// Cheap integrity scan gating publication (SnapshotHolder::
+  /// PublishValidated): every factor value finite (the padded lanes are
+  /// zero-filled, so the whole aligned buffer is scanned), dimensions
+  /// positive, stride >= k, and — when id maps are present — map sizes
+  /// matching the factor row counts. A snapshot that fails here would
+  /// serve NaN scores or crash raw-id translation, so a failing publish
+  /// is rejected and serving stays on the last-known-good snapshot.
+  /// Returns Ok or a FailedPrecondition naming the first defect.
+  Status Validate() const;
+
+  /// Chaos/test helper: a deep copy of `src` with one NaN planted in the
+  /// user factors — the smallest corruption Validate() must catch. Keeps
+  /// src's version so a rejected publish is distinguishable from a
+  /// version rollback. Used by the publish-poison fault and tests; never
+  /// by production code.
+  static SnapshotPtr PoisonedCopy(const FactorSnapshot& src);
+
   int32_t num_users() const { return num_users_; }
   int32_t num_items() const { return num_items_; }
   int k() const { return k_; }
@@ -196,9 +213,29 @@ class SnapshotHolder {
   /// multiple publishers serialize among themselves.
   void Publish(SnapshotPtr snapshot);
 
+  /// Publish with a validity gate: a null snapshot is InvalidArgument
+  /// and one failing FactorSnapshot::Validate() is FailedPrecondition;
+  /// both are counted in rejected_publishes() and install NOTHING — the
+  /// previously published snapshot keeps serving untouched, which is the
+  /// whole rollback policy (last-known-good is simply never replaced by
+  /// a bad candidate). Ok means the snapshot is live.
+  Status PublishValidated(SnapshotPtr snapshot);
+
   /// Publishes so far (0 = Acquire still returns null).
   int64_t publishes() const {
     return publishes_.load(std::memory_order_relaxed);
+  }
+
+  /// Candidates PublishValidated refused (never installed).
+  int64_t rejected_publishes() const {
+    return rejected_publishes_.load(std::memory_order_relaxed);
+  }
+
+  /// Test-only: total outstanding reader pins across both slots. Settled
+  /// (no Acquire mid-copy) it must read 0 — Acquire's critical section
+  /// is a shared_ptr copy, so nonzero is only ever transient.
+  int64_t DebugPins() const {
+    return slots_[0].pins.load() + slots_[1].pins.load();
   }
 
  private:
@@ -210,6 +247,7 @@ class SnapshotHolder {
   Slot slots_[2];
   std::atomic<uint32_t> cur_{0};
   std::atomic<int64_t> publishes_{0};
+  std::atomic<int64_t> rejected_publishes_{0};
   std::mutex publish_mu_;
 };
 

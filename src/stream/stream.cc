@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/checkpoint.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -56,7 +57,8 @@ std::vector<io::RawRating> SyntheticStream::NextBatch(int64_t n) {
 
 StatusOr<std::unique_ptr<OnlineTrainer>> OnlineTrainer::Create(
     std::unique_ptr<Session> session, io::IdMap users, io::IdMap items,
-    Publisher publisher, obs::MetricsRegistry* metrics) {
+    Publisher publisher, obs::MetricsRegistry* metrics,
+    const WalIngestOptions* wal) {
   if (session == nullptr) {
     return Status::InvalidArgument("OnlineTrainer needs a live session");
   }
@@ -69,24 +71,49 @@ StatusOr<std::unique_ptr<OnlineTrainer>> OnlineTrainer::Create(
         session->dataset().num_cols));
   }
   std::unique_ptr<OnlineTrainer> trainer(new OnlineTrainer());
+  trainer->retry_rng_ = Rng(session->config().seed, 37);
   trainer->session_ = std::move(session);
   trainer->users_ = std::move(users);
   trainer->items_ = std::move(items);
   trainer->publisher_ = std::move(publisher);
-  if (metrics != nullptr) {
-    trainer->metric_.ingested = metrics->counter("stream.ingested");
-    trainer->metric_.cold_users = metrics->counter("stream.cold_users");
-    trainer->metric_.cold_items = metrics->counter("stream.cold_items");
-    trainer->metric_.epochs = metrics->counter("stream.epochs");
-    trainer->metric_.publishes = metrics->counter("stream.publishes");
-    trainer->metric_.staleness = metrics->gauge("stream.staleness_ratings");
-    trainer->metric_.version = metrics->gauge("stream.version");
-    trainer->metric_.publish_seconds = metrics->histogram(
-        "stream.publish_wall_seconds", obs::ExponentialBounds(1e-5, 2.0, 20));
-    trainer->metric_.batch_size = metrics->histogram(
-        "stream.ingest_batch_size", obs::ExponentialBounds(1.0, 2.0, 20));
+  if (wal != nullptr) {
+    auto log = Wal::Open(wal->wal, metrics);
+    if (!log.ok()) return log.status();
+    trainer->wal_ = *std::move(log);
+    trainer->wal_options_ = *wal;
+    // A fresh trainer over a non-empty log: the caller wants Recover(),
+    // not Create() — silently appending after unreplayed records would
+    // desync the mark from the session.
+    if (trainer->wal_->last_seq() != 0) {
+      return Status::FailedPrecondition(StrFormat(
+          "WAL at '%s' already holds %llu records; use "
+          "OnlineTrainer::Recover to rebuild from it (or point Create at "
+          "a fresh directory)",
+          wal->wal.dir.c_str(),
+          static_cast<unsigned long long>(trainer->wal_->last_seq())));
+    }
   }
+  trainer->AttachMetrics(metrics);
   return trainer;
+}
+
+void OnlineTrainer::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metric_.ingested = metrics->counter("stream.ingested");
+  metric_.cold_users = metrics->counter("stream.cold_users");
+  metric_.cold_items = metrics->counter("stream.cold_items");
+  metric_.epochs = metrics->counter("stream.epochs");
+  metric_.publishes = metrics->counter("stream.publishes");
+  metric_.publish_rejected = metrics->counter("stream.publish_rejected");
+  metric_.wal_retries = metrics->counter("stream.wal.append_retries");
+  metric_.wal_replayed = metrics->counter("stream.wal.replayed_batches");
+  metric_.staleness = metrics->gauge("stream.staleness_ratings");
+  metric_.version = metrics->gauge("stream.version");
+  metric_.wal_applied_seq = metrics->gauge("stream.wal.applied_seq");
+  metric_.publish_seconds = metrics->histogram(
+      "stream.publish_wall_seconds", obs::ExponentialBounds(1e-5, 2.0, 20));
+  metric_.batch_size = metrics->histogram(
+      "stream.ingest_batch_size", obs::ExponentialBounds(1.0, 2.0, 20));
 }
 
 StatusOr<IngestResult> OnlineTrainer::Ingest(
@@ -99,6 +126,52 @@ StatusOr<IngestResult> OnlineTrainer::Ingest(
                     static_cast<long long>(rec.item)));
     }
   }
+  uint64_t seq = wal_applied_seq_;
+  if (wal_ != nullptr) {
+    // Durability first: the batch must be on disk before any of it is
+    // applied, or a crash after apply would lose an acknowledged ingest.
+    // Transient IO errors retry under the deadline; exhaustion fails the
+    // Ingest with nothing applied (and nothing acknowledged).
+    Status logged = RetryWithBackoffUntil(
+        wal_options_.retry, &retry_rng_, wal_options_.retry_budget_s,
+        [&]() -> Status {
+          auto appended = wal_->Append(batch);
+          if (!appended.ok()) return appended.status();
+          seq = *appended;
+          return Status::Ok();
+        },
+        [&](int, const Status&) {
+          ++wal_retries_;
+          obs::Increment(metric_.wal_retries);
+        });
+    if (!logged.ok()) return logged;
+  }
+  auto result = ApplyBatch(batch);
+  if (result.ok() && wal_ != nullptr) {
+    wal_applied_seq_ = seq;
+    obs::Set(metric_.wal_applied_seq, static_cast<double>(seq));
+  }
+  return result;
+}
+
+StatusOr<IngestResult> OnlineTrainer::ReplayIngest(const WalRecord& record) {
+  if (record.seq != wal_applied_seq_ + 1) {
+    return Status::InvalidArgument(StrFormat(
+        "replay out of order: record seq %llu, expected %llu",
+        static_cast<unsigned long long>(record.seq),
+        static_cast<unsigned long long>(wal_applied_seq_ + 1)));
+  }
+  auto result = ApplyBatch(record.batch);
+  if (result.ok()) {
+    wal_applied_seq_ = record.seq;
+    obs::Increment(metric_.wal_replayed);
+    obs::Set(metric_.wal_applied_seq, static_cast<double>(record.seq));
+  }
+  return result;
+}
+
+StatusOr<IngestResult> OnlineTrainer::ApplyBatch(
+    const std::vector<io::RawRating>& batch) {
   const int32_t users_before = users_.size();
   const int32_t items_before = items_.size();
   Ratings dense;
@@ -144,13 +217,122 @@ StatusOr<serve::SnapshotPtr> OnlineTrainer::PublishSnapshot() {
   auto snapshot = serve::FactorSnapshot::FromSession(
       *session_, version_ + 1, &users_, &items_);
   if (!snapshot.ok()) return snapshot.status();
+  serve::SnapshotPtr outgoing = *snapshot;
+  if (interceptor_) outgoing = interceptor_(std::move(outgoing));
+  if (publisher_) {
+    Status published = publisher_(outgoing);
+    if (!published.ok()) {
+      // Not installed: the consumer keeps its last-known-good snapshot
+      // and our version stays put (the next attempt re-snapshots under
+      // the same version number).
+      ++publish_rejected_;
+      obs::Increment(metric_.publish_rejected);
+      return published;
+    }
+  }
   ++version_;
   ++publishes_;
-  if (publisher_) publisher_(*snapshot);
   obs::Increment(metric_.publishes);
   obs::Set(metric_.version, static_cast<double>(version_));
   obs::Observe(metric_.publish_seconds, wall.Seconds());
-  return *snapshot;
+  return outgoing;
+}
+
+Status OnlineTrainer::Checkpoint(const std::string& path) {
+  if (session_->pending_nnz() != 0) {
+    return Status::FailedPrecondition(StrFormat(
+        "%lld ingested ratings are not yet trained; run TrainDirty "
+        "before checkpointing (recovery rebuilds dirty state on the "
+        "assumption that checkpoints are ingest-quiescent)",
+        static_cast<long long>(session_->pending_nnz())));
+  }
+  if (wal_ != nullptr) {
+    // The checkpoint is about to claim "everything through
+    // wal_applied_seq_ is durable"; make the log agree before the claim
+    // hits disk.
+    HSGD_RETURN_IF_ERROR(wal_->Sync());
+  }
+  return session_->SaveCheckpoint(path, wal_applied_seq_);
+}
+
+StatusOr<OnlineTrainer::RecoverResult> OnlineTrainer::Recover(
+    Dataset warm, io::IdMap users, io::IdMap items,
+    const std::string& checkpoint_path, const WalIngestOptions& wal,
+    Publisher publisher, obs::MetricsRegistry* metrics) {
+  auto ckpt = ReadCheckpoint(checkpoint_path);
+  if (!ckpt.ok()) return ckpt.status();
+  const uint64_t mark = ckpt->wal_seq;
+
+  auto replay = Wal::Replay(wal.wal.dir);
+  if (!replay.ok()) return replay.status();
+  if (!replay->records.empty() && replay->records.front().seq != 1) {
+    return Status::FailedPrecondition(StrFormat(
+        "WAL at '%s' starts at seq %llu (truncated below the warm "
+        "base?); recovery needs the full streamed tail from seq 1",
+        wal.wal.dir.c_str(),
+        static_cast<unsigned long long>(replay->records.front().seq)));
+  }
+  if (replay->last_seq < mark) {
+    return Status::FailedPrecondition(StrFormat(
+        "WAL ends at seq %llu but the checkpoint's high-water mark is "
+        "%llu — the log is missing acknowledged records",
+        static_cast<unsigned long long>(replay->last_seq),
+        static_cast<unsigned long long>(mark)));
+  }
+
+  // Dense-resolve the covered records (seq <= mark) through the warm id
+  // maps, growing them exactly as the crashed trainer's Ingest did; the
+  // grown batches feed RestoreGrown's bit-exact history replay.
+  std::vector<Ratings> growth;
+  std::vector<WalRecord> unapplied;
+  int64_t replayed = 0;
+  for (WalRecord& record : replay->records) {
+    if (record.seq > mark) {
+      unapplied.push_back(std::move(record));
+      continue;
+    }
+    Ratings dense;
+    dense.reserve(record.batch.size());
+    for (const io::RawRating& rec : record.batch) {
+      Rating r;
+      r.u = users.Assign(rec.user);
+      r.v = items.Assign(rec.item);
+      r.r = rec.rating;
+      dense.push_back(r);
+    }
+    growth.push_back(std::move(dense));
+    ++replayed;
+  }
+
+  auto session =
+      Session::RestoreGrown(checkpoint_path, std::move(warm), growth);
+  if (!session.ok()) return session.status();
+
+  RecoverResult result;
+  // Create() refuses a non-empty WAL, so wire the trainer by hand: same
+  // fields, plus the replayed mark. Wal::Open re-truncates any torn
+  // tail (idempotent — Replay above already measured it).
+  std::unique_ptr<OnlineTrainer> trainer(new OnlineTrainer());
+  trainer->retry_rng_ = Rng((*session)->config().seed, 37);
+  trainer->session_ = *std::move(session);
+  trainer->users_ = std::move(users);
+  trainer->items_ = std::move(items);
+  trainer->publisher_ = std::move(publisher);
+  auto log = Wal::Open(wal.wal, metrics);
+  if (!log.ok()) return log.status();
+  trainer->wal_ = *std::move(log);
+  trainer->wal_options_ = wal;
+  trainer->wal_applied_seq_ = mark;
+  trainer->AttachMetrics(metrics);
+  obs::Add(trainer->metric_.wal_replayed, replayed);
+  obs::Set(trainer->metric_.wal_applied_seq, static_cast<double>(mark));
+
+  result.trainer = std::move(trainer);
+  result.unapplied = std::move(unapplied);
+  result.checkpoint_seq = mark;
+  result.replayed_batches = replayed;
+  result.truncated_bytes = replay->truncated_bytes;
+  return result;
 }
 
 }  // namespace hsgd::stream

@@ -25,6 +25,25 @@
 // kNotFound until the publish whose maps cover it — never a stale dense-id
 // aliasing from an older snapshot.
 //
+// Durability (WAL-backed ingest, optional): when Create is given
+// WalOptions, every Ingest batch is appended to the write-ahead log —
+// with deadline-bounded retries on transient IO errors — BEFORE it is
+// applied to the session, so an acknowledged ingest survives a crash.
+// Checkpoint() records the WAL sequence applied so far as the
+// checkpoint's high-water mark; Recover() reopens the log, rebuilds the
+// grown session bit-exactly (Session::RestoreGrown + the checkpoint's
+// dataset fingerprint as the proof), and hands back the unapplied
+// records (seq > mark) for the driver to re-drive through ReplayIngest
+// with its original ingest/train cadence. The WAL is never auto-pruned:
+// checkpoints store factors, not ratings, so the whole streamed tail
+// since the warm base must stay replayable (Wal::TruncateBefore is an
+// operator decision, taken only when the warm base itself is re-snapshotted).
+//
+// Publish rejection: the publisher returns Status; a rejection (e.g.
+// RecServer refusing a corrupt snapshot) leaves version/publish counters
+// unadvanced and is surfaced to the driver — the server keeps serving
+// its last-known-good snapshot.
+//
 // All OnlineTrainer methods are intended for one driver thread; the
 // concurrency boundary is the published snapshot (any number of serving
 // threads) and the session's epoch barrier, not this class.
@@ -39,6 +58,8 @@
 #include "core/session.h"
 #include "io/loader.h"
 #include "serve/snapshot.h"
+#include "stream/wal.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -105,25 +126,95 @@ struct IngestResult {
 
 class OnlineTrainer {
  public:
-  /// Receives each published snapshot; typically binds
-  /// RecServer::Publish or SnapshotHolder::Publish. Runs on the driver
-  /// thread inside PublishSnapshot.
-  using Publisher = std::function<void(serve::SnapshotPtr)>;
+  /// Receives each published snapshot and reports whether it was
+  /// accepted; typically binds RecServer::Publish (which validates and
+  /// may reject) or wraps SnapshotHolder::PublishValidated. Runs on the
+  /// driver thread inside PublishSnapshot. A non-Ok return means the
+  /// snapshot was NOT installed; the trainer leaves its version
+  /// unadvanced and surfaces the status.
+  using Publisher = std::function<Status(serve::SnapshotPtr)>;
+
+  /// Chaos/test hook: maps the about-to-be-published snapshot to what is
+  /// actually handed to the publisher (e.g. FactorSnapshot::PoisonedCopy
+  /// under a publish-poison fault). Identity when unset.
+  using PublishInterceptor =
+      std::function<serve::SnapshotPtr(serve::SnapshotPtr)>;
+
+  /// WAL ingest policy bundled with the log location (Create takes a
+  /// pointer; null = no WAL, PR-9 behavior bit for bit).
+  struct WalIngestOptions {
+    WalOptions wal;
+    /// Transient append failures (injected IO faults, EINTR-ish) are
+    /// retried under this envelope, bounded by `retry_budget_s` seconds
+    /// of wall clock — the ingest path has latency obligations, so a
+    /// sick log fails the Ingest (typed, nothing applied) rather than
+    /// stalling the driver loop.
+    RetryOptions retry;
+    double retry_budget_s = 0.25;
+  };
+
+  /// Everything Recover() rebuilt, plus the work left for the driver.
+  struct RecoverResult {
+    std::unique_ptr<OnlineTrainer> trainer;
+    /// Records logged but NOT covered by the checkpoint (seq > mark),
+    /// in seq order. Re-drive each through ReplayIngest with the same
+    /// ingest/train cadence the original run used.
+    std::vector<WalRecord> unapplied;
+    /// The checkpoint's WAL high-water mark.
+    uint64_t checkpoint_seq = 0;
+    /// Batches replayed into the rebuilt session (seq <= mark).
+    int64_t replayed_batches = 0;
+    /// Torn bytes truncated from the log tail (crash mid-append).
+    int64_t truncated_bytes = 0;
+  };
 
   /// Takes ownership of a live `session` and the id maps describing its
   /// CURRENT dataset (use DenseIdentityMap for synthetic data, or the
   /// maps LoadRatings built for a real dump). InvalidArgument when the
   /// map sizes disagree with the session's dimensions or the session is
   /// null. `metrics` (borrowed, may be null) receives the stream.*
-  /// instruments.
+  /// instruments. `wal` (optional) arms durable ingest: the log is
+  /// opened (replaying/truncating any torn tail) and every subsequent
+  /// Ingest is logged before it is applied.
   static StatusOr<std::unique_ptr<OnlineTrainer>> Create(
       std::unique_ptr<Session> session, io::IdMap users, io::IdMap items,
+      Publisher publisher, obs::MetricsRegistry* metrics = nullptr,
+      const WalIngestOptions* wal = nullptr);
+
+  /// Crash recovery for a WAL-armed trainer. Reads the checkpoint's WAL
+  /// mark, replays the log (truncating a torn tail), rebuilds the grown
+  /// session bit-exactly via Session::RestoreGrown (the checkpoint's
+  /// dataset fingerprint proves warm + replayed growth reconstruct the
+  /// crashed session's data), reopens the WAL for appending, and
+  /// returns the unapplied tail for the driver to re-drive. `warm` /
+  /// `users` / `items` describe the WARM base (pre-stream), exactly as
+  /// first handed to Create. Requires an existing checkpoint: a WAL
+  /// with no checkpoint means re-running the warm bootstrap + full
+  /// replay from scratch, which is the driver's call, not this helper's.
+  static StatusOr<RecoverResult> Recover(
+      Dataset warm, io::IdMap users, io::IdMap items,
+      const std::string& checkpoint_path, const WalIngestOptions& wal,
       Publisher publisher, obs::MetricsRegistry* metrics = nullptr);
 
-  /// Append a raw batch: ids are resolved (growing the trainer's maps
-  /// for cold entities) and the dense ratings appended to the session.
-  /// InvalidArgument on negative raw ids, with nothing mutated.
+  /// Append a raw batch: when a WAL is armed the batch is made durable
+  /// first (retried within the options' deadline; a final failure
+  /// returns the error with NOTHING applied), then ids are resolved
+  /// (growing the trainer's maps for cold entities) and the dense
+  /// ratings appended to the session. InvalidArgument on negative raw
+  /// ids, with nothing mutated or logged.
   StatusOr<IngestResult> Ingest(const std::vector<io::RawRating>& batch);
+
+  /// Recovery-path ingest: applies a replayed WAL record WITHOUT
+  /// re-appending it to the log. Records must arrive in seq order
+  /// (checkpoint_seq+1, +2, ...); InvalidArgument otherwise.
+  StatusOr<IngestResult> ReplayIngest(const WalRecord& record);
+
+  /// Durable save: fsyncs the WAL (when armed), then writes the session
+  /// checkpoint stamped with the WAL sequence applied so far. Refused
+  /// (FailedPrecondition) while ratings are ingested-but-untrained —
+  /// recovery's dirty-state reconstruction (Session::RestoreGrown)
+  /// relies on checkpoints being taken at ingest-quiescent points.
+  Status Checkpoint(const std::string& path);
 
   /// One incremental epoch over the blocks dirtied since the last epoch.
   /// FailedPrecondition when nothing is pending (harmless; skip and keep
@@ -131,9 +222,18 @@ class OnlineTrainer {
   StatusOr<TracePoint> TrainDirty();
 
   /// Barrier-synchronized snapshot of the session's current factors +
-  /// THIS moment's id maps, with a fresh monotonic version, handed to
-  /// the publisher. Also returned so drivers can inspect what went out.
+  /// THIS moment's id maps, with a fresh monotonic version, handed
+  /// through the interceptor (if any) to the publisher. A publisher
+  /// rejection is returned as-is with version/publish counters
+  /// unadvanced (counted in publish_rejected()); the next attempt
+  /// re-snapshots under the same version. On success returns what was
+  /// actually published.
   StatusOr<serve::SnapshotPtr> PublishSnapshot();
+
+  /// Install (or clear, with nullptr) the publish interceptor.
+  void SetPublishInterceptor(PublishInterceptor interceptor) {
+    interceptor_ = std::move(interceptor);
+  }
 
   const Session& session() const { return *session_; }
   Session* mutable_session() { return session_.get(); }
@@ -142,18 +242,43 @@ class OnlineTrainer {
   /// Version of the last successful publish (0 = none yet).
   uint64_t version() const { return version_; }
   int64_t publishes() const { return publishes_; }
+  /// Publishes the publisher refused (snapshot not installed).
+  int64_t publish_rejected() const { return publish_rejected_; }
   /// Ratings ingested but not yet covered by an epoch.
   int64_t pending_nnz() const { return session_->pending_nnz(); }
+  /// The armed WAL, or null. Exposed for chaos hooks
+  /// (Wal::SetIoFaultHook) and tests; production drivers don't touch it.
+  Wal* wal() { return wal_.get(); }
+  /// Highest WAL seq whose batch has been applied to the session
+  /// (0 = none; always wal()->last_seq() minus any in-flight failure).
+  uint64_t wal_applied_seq() const { return wal_applied_seq_; }
+  /// WAL append retries taken so far (transient faults absorbed).
+  int64_t wal_retries() const { return wal_retries_; }
 
  private:
   OnlineTrainer() = default;
+
+  /// Shared dense-resolve + append body of Ingest/ReplayIngest.
+  StatusOr<IngestResult> ApplyBatch(const std::vector<io::RawRating>& batch);
+  /// Resolve the stream.* instrument handles (null registry = no-op).
+  void AttachMetrics(obs::MetricsRegistry* metrics);
 
   std::unique_ptr<Session> session_;
   io::IdMap users_;
   io::IdMap items_;
   Publisher publisher_;
+  PublishInterceptor interceptor_;
   uint64_t version_ = 0;
   int64_t publishes_ = 0;
+  int64_t publish_rejected_ = 0;
+
+  std::unique_ptr<Wal> wal_;
+  WalIngestOptions wal_options_;
+  uint64_t wal_applied_seq_ = 0;
+  int64_t wal_retries_ = 0;
+  /// Jitter source for WAL append backoff (stream 37; only consumed
+  /// when an append actually fails, so fault-free runs never draw).
+  Rng retry_rng_{1, 37};
 
   struct Metrics {
     obs::Counter* ingested = nullptr;
@@ -161,8 +286,12 @@ class OnlineTrainer {
     obs::Counter* cold_items = nullptr;
     obs::Counter* epochs = nullptr;
     obs::Counter* publishes = nullptr;
+    obs::Counter* publish_rejected = nullptr;
+    obs::Counter* wal_retries = nullptr;
+    obs::Counter* wal_replayed = nullptr;
     obs::Gauge* staleness = nullptr;
     obs::Gauge* version = nullptr;
+    obs::Gauge* wal_applied_seq = nullptr;
     obs::Histogram* publish_seconds = nullptr;
     obs::Histogram* batch_size = nullptr;
   } metric_;

@@ -1,0 +1,168 @@
+// Segment-based write-ahead log for streamed ratings.
+//
+// The online path's durability story: `OnlineTrainer::Ingest` appends the
+// raw batch here BEFORE resolving ids or touching the session, so a crash
+// at any later point loses nothing — restart replays the log. Checkpoints
+// record the WAL high-water mark actually applied to the session
+// (core/checkpoint.h v5), and recovery replays records <= mark to rebuild
+// the grown dataset/id maps and re-drives records > mark through training.
+//
+// On-disk format (native endianness, like checkpoints — a
+// resume-on-the-same-machine facility, not interchange):
+//
+//   segment file  wal-<first_seq:016x>.log
+//     header      u64 magic, u32 version, u64 first_seq
+//     record*     u32 payload_len, u32 crc32(payload), payload
+//   payload       u64 seq, u32 count, count x (i64 user, i64 item,
+//                 f32 rating)
+//
+// One record per ingest BATCH, not per rating: recovery must reproduce
+// the exact pre-crash Ingest/TrainDirty cadence for bit-identical
+// factors, and the batch boundary is part of that cadence. Sequence
+// numbers are assigned per record, contiguous and ascending across
+// segments.
+//
+// Torn-tail semantics: a crash mid-append leaves a partial or
+// CRC-corrupt record at the END of the LAST segment. Replay detects it,
+// truncates the file back to the last intact record, and reports the
+// dropped bytes — that record was never acknowledged, so dropping it is
+// correct. Corruption anywhere else (mid-file, or in a non-final
+// segment) is not explainable by a crash and fails loudly with Internal
+// instead of being silently discarded.
+//
+// Appends fsync every `fsync_every` records (1 = every append, the
+// durability default; 0 = leave flushing to the OS). A failed append
+// poisons the handle — the file may hold a torn tail, and the only safe
+// continuation is to reopen (which truncates it) — except for failures
+// injected via the IO fault hook, which fire BEFORE any byte is written
+// and are therefore cleanly retryable.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/loader.h"
+#include "util/status.h"
+
+namespace hsgd::obs {
+class MetricsRegistry;  // obs/metrics.h
+class Counter;
+class Gauge;
+}  // namespace hsgd::obs
+
+namespace hsgd::stream {
+
+struct WalOptions {
+  /// Directory holding the segment files (created if missing).
+  std::string dir;
+  /// Roll to a fresh segment once the current one exceeds this size.
+  int64_t segment_bytes = 4 << 20;
+  /// fsync after every N successful appends (1 = each append; 0 = never).
+  int fsync_every = 1;
+};
+
+/// One logged ingest batch, as replay returns it.
+struct WalRecord {
+  uint64_t seq = 0;
+  std::vector<io::RawRating> batch;
+};
+
+struct WalReplayResult {
+  /// Every intact record, ascending contiguous seqs.
+  std::vector<WalRecord> records;
+  /// Highest intact seq (0 = empty log).
+  uint64_t last_seq = 0;
+  /// Bytes of torn tail truncated off the final segment (0 = clean).
+  int64_t truncated_bytes = 0;
+  int segments = 0;
+};
+
+class Wal {
+ public:
+  /// Open (or create) the log in `options.dir`, scan existing segments,
+  /// truncate any torn tail, and position for appending after the
+  /// highest intact record. `metrics` (borrowed, may be null) receives
+  /// the stream.wal.* instruments.
+  static StatusOr<std::unique_ptr<Wal>> Open(
+      const WalOptions& options, obs::MetricsRegistry* metrics = nullptr);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Durably log one ingest batch; returns its sequence number. Internal
+  /// on IO failure — injected-hook failures are retryable, real short
+  /// writes poison the handle (see file comment). Empty batches are
+  /// logged too (they still consume a seq, keeping recovery's cadence
+  /// replay exact).
+  StatusOr<uint64_t> Append(const std::vector<io::RawRating>& batch);
+
+  /// Force an fsync of the current segment regardless of fsync_every.
+  Status Sync();
+
+  /// Highest sequence number appended or recovered (0 = empty).
+  uint64_t last_seq() const { return last_seq_; }
+  /// True once a real (non-injected) write failure poisoned the handle.
+  bool poisoned() const { return poisoned_; }
+
+  /// Garbage-collect whole segments whose every record has seq < `seq`.
+  /// Segment-granular: records >= seq are never removed, some < seq may
+  /// survive. The open segment is never deleted.
+  Status TruncateBefore(uint64_t seq);
+
+  /// Scan `dir` without opening for append: validates headers, CRCs and
+  /// seq contiguity, truncates a torn tail on the final segment (the
+  /// file IS modified), and returns every intact record. NotFound when
+  /// the directory does not exist; an empty directory is an empty log.
+  static StatusOr<WalReplayResult> Replay(const std::string& dir);
+
+  /// Chaos hook: when set and returning true, the next Append fails with
+  /// Internal BEFORE writing any byte — a clean, retryable injected IO
+  /// error (ServeFaultInjector::ConsumeWalFault is the intended source).
+  /// Not thread-safe against concurrent Append; install before traffic.
+  void SetIoFaultHook(std::function<bool()> hook) {
+    io_fault_hook_ = std::move(hook);
+  }
+
+ private:
+  Wal() = default;
+
+  /// Close the current segment and start a new one whose header claims
+  /// `first_seq`.
+  Status RollSegment(uint64_t first_seq);
+
+  WalOptions options_;
+  FILE* file_ = nullptr;
+  std::string file_path_;
+  int64_t file_bytes_ = 0;
+  uint64_t last_seq_ = 0;
+  int appends_since_sync_ = 0;
+  bool poisoned_ = false;
+  std::function<bool()> io_fault_hook_;
+
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_append_failures_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_syncs_ = nullptr;
+  obs::Gauge* m_last_seq_ = nullptr;
+  obs::Gauge* m_segments_ = nullptr;
+  int segments_ = 0;
+};
+
+/// Test-only failpoint simulating a short write / ENOSPC, byte-counted
+/// like checkpoint.h's: subsequent Append calls fail once they have
+/// written `bytes` further bytes (part of the record lands on disk — a
+/// genuinely torn tail Replay must truncate). Negative clears it.
+/// Process-global and not thread-safe; tests only.
+void SetWalWriteFailpoint(int64_t bytes);
+
+/// CRC32 (IEEE, reflected) over `bytes` — exposed for tests that
+/// hand-corrupt records.
+uint32_t WalCrc32(const void* data, size_t bytes);
+
+}  // namespace hsgd::stream

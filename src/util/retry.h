@@ -58,4 +58,54 @@ Status RetryWithBackoff(const RetryOptions& options, Rng* rng, Fn&& fn) {
                           [](int, const Status&) {});
 }
 
+/// Deadline-aware variant: retries until `fn` succeeds, the attempt
+/// budget runs out, OR `budget_s` wall-clock seconds have elapsed since
+/// entry — whichever comes first. The absolute budget is what callers on
+/// a latency path (WAL appends, autosaves racing a serving deadline)
+/// need: max-attempts alone can oversleep arbitrarily under backoff
+/// growth. Each sleep is clamped to the remaining budget; a retry whose
+/// sleep would land past the deadline still gets its final attempt at
+/// the boundary (the deadline bounds waiting, not work). `budget_s <= 0`
+/// allows the first attempt only. Returns the last failing Status on
+/// exhaustion.
+template <typename Fn, typename OnRetry>
+Status RetryWithBackoffUntil(const RetryOptions& options, Rng* rng,
+                             double budget_s, Fn&& fn, OnRetry&& on_retry) {
+  const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(budget_s);
+  double backoff = options.initial_backoff;
+  Status status;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    status = fn();
+    if (status.ok()) return status;
+    if (attempt == attempts) break;
+    const double remaining =
+        std::chrono::duration<double>(deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+    if (remaining <= 0.0) break;
+    on_retry(attempt, status);
+    double sleep_s = backoff;
+    if (rng != nullptr && options.jitter > 0.0) {
+      sleep_s *= 1.0 + options.jitter * (2.0 * rng->NextDouble() - 1.0);
+    }
+    if (sleep_s > remaining) sleep_s = remaining;
+    if (sleep_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    }
+    backoff *= options.multiplier;
+    if (backoff > options.max_backoff) backoff = options.max_backoff;
+  }
+  return status;
+}
+
+template <typename Fn>
+Status RetryWithBackoffUntil(const RetryOptions& options, Rng* rng,
+                             double budget_s, Fn&& fn) {
+  return RetryWithBackoffUntil(options, rng, budget_s,
+                               static_cast<Fn&&>(fn),
+                               [](int, const Status&) {});
+}
+
 }  // namespace hsgd

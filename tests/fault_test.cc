@@ -14,6 +14,7 @@
 #include "core/checkpoint.h"
 #include "core/hsgd.h"
 #include "fault/fault_plan.h"
+#include "fault/serve_injector.h"
 #include "test_main.h"
 
 namespace hsgd {
@@ -375,6 +376,160 @@ void TestCheckpointFaultRetry() {
   std::remove(cfg.fault.autosave_path.c_str());
 }
 
+// The serve half of the grammar: poison / walio / storm / slowshard
+// clauses parse with round-triggered semantics and round-trip through
+// ToString, and the misuse cases fail loudly.
+void TestServePlanParsing() {
+  const std::string text =
+      "poison@r3n2; walio@r2n4; storm@r4x8for2; slowshard:1@r5x16for3";
+  auto plan = FaultPlan::Parse(text);
+  EXPECT_TRUE(plan.ok());
+  if (plan.ok()) {
+    EXPECT_EQ(plan->specs.size(), 4u);
+    const FaultSpec& poison = plan->specs[0];
+    EXPECT_TRUE(poison.kind == FaultKind::kPublishPoison);
+    EXPECT_EQ(poison.epoch, 3);  // round rides the epoch field
+    EXPECT_EQ(poison.count, 2);
+    const FaultSpec& walio = plan->specs[1];
+    EXPECT_TRUE(walio.kind == FaultKind::kWalIo);
+    EXPECT_EQ(walio.epoch, 2);
+    EXPECT_EQ(walio.count, 4);
+    const FaultSpec& storm = plan->specs[2];
+    EXPECT_TRUE(storm.kind == FaultKind::kQueryStorm);
+    EXPECT_EQ(storm.slowdown, 8.0);
+    EXPECT_EQ(storm.duration, 2.0);
+    const FaultSpec& slow_shard = plan->specs[3];
+    EXPECT_TRUE(slow_shard.kind == FaultKind::kSlowShard);
+    EXPECT_EQ(slow_shard.device_index, 1);  // shard rides device_index
+    EXPECT_EQ(slow_shard.slowdown, 16.0);
+    EXPECT_EQ(slow_shard.duration, 3.0);
+
+    for (const FaultSpec& spec : plan->specs) {
+      EXPECT_TRUE(IsServeFault(spec.kind));
+    }
+    EXPECT_FALSE(IsServeFault(FaultKind::kGpuCrash));
+    EXPECT_FALSE(IsServeFault(FaultKind::kCheckpointFault));
+
+    auto again = FaultPlan::Parse(plan->ToString());
+    EXPECT_TRUE(again.ok());
+    if (again.ok()) EXPECT_TRUE(again->ToString() == plan->ToString());
+  }
+
+  for (const char* bad : {
+           "poison@r0",            // rounds are 1-based
+           "poison@e3",            // serve kinds trigger on @r, not @e
+           "crash:gpu0@r1",        // ...and train kinds on @e, not @r
+           "poison:gpu0@r1",       // poison/walio/storm take no target
+           "walio@r1x4",           // no slowdown on count kinds
+           "storm@r1n2",           // no count on window kinds
+           "storm@r1x0.5for2",     // factor must exceed 1
+           "slowshard@r1x4for2",   // slowshard requires a shard index
+           "slowshard:0@r1+0.5x4", // no release fraction on rounds
+       }) {
+    auto parsed = FaultPlan::Parse(bad);
+    EXPECT_FALSE(parsed.ok());
+    if (parsed.ok()) std::fprintf(stderr, "  (accepted: %s)\n", bad);
+  }
+}
+
+// A mixed chaos script splits cleanly into its session half and its
+// serve half, and the session refuses to be handed serve kinds.
+void TestSplitAndSessionRejectsServeKinds() {
+  auto mixed = FaultPlan::Parse(
+      "crash:gpu0@e2+0.5; poison@r3; ckpt@e1n1; walio@r2n2; "
+      "slowshard:0@r4x8for1");
+  EXPECT_TRUE(mixed.ok());
+  if (!mixed.ok()) return;
+
+  FaultPlan train, serve;
+  SplitFaultPlan(*mixed, &train, &serve);
+  EXPECT_EQ(train.specs.size(), 2u);
+  EXPECT_EQ(serve.specs.size(), 3u);
+  for (const FaultSpec& spec : train.specs) {
+    EXPECT_FALSE(IsServeFault(spec.kind));
+  }
+  for (const FaultSpec& spec : serve.specs) {
+    EXPECT_TRUE(IsServeFault(spec.kind));
+  }
+  // Null outputs discard that half.
+  FaultPlan serve_only;
+  SplitFaultPlan(*mixed, nullptr, &serve_only);
+  EXPECT_EQ(serve_only.specs.size(), 3u);
+
+  // The unsplit mixed plan must be rejected by the session — serve
+  // faults are fired by the injector, never the training loop.
+  Dataset ds = SmallDataset();
+  auto session = Session::Create(ds, SmallConfig(Algorithm::kHsgd));
+  EXPECT_TRUE(session.ok());
+  if (session.ok()) {
+    Status status = (*session)->SetFaultPlan(*mixed);
+    EXPECT_FALSE(status.ok());
+    EXPECT_TRUE(status.message().find("serve") != std::string::npos);
+    // The split train half is fine.
+    EXPECT_TRUE((*session)->SetFaultPlan(train).ok());
+  }
+}
+
+// ServeFaultInjector: Create validation, and the four firing surfaces
+// driven round by round — the engine under bench_chaos_serving's gate.
+void TestServeFaultInjectorFiring() {
+  auto plan = FaultPlan::Parse(
+      "poison@r3n2; walio@r2n2; storm@r4x8for2; slowshard:1@r5x16for3");
+  EXPECT_TRUE(plan.ok());
+  if (!plan.ok()) return;
+
+  // Creation validates kind purity and shard range.
+  auto train_kind = FaultPlan::Parse("crash:gpu0@e1");
+  EXPECT_TRUE(train_kind.ok());
+  EXPECT_FALSE(ServeFaultInjector::Create(*train_kind).ok());
+  EXPECT_FALSE(ServeFaultInjector::Create(*plan, 1).ok());  // shard 1 of 1
+  auto injector = ServeFaultInjector::Create(*plan, 2);
+  EXPECT_TRUE(injector.ok());
+  if (!injector.ok()) return;
+  ServeFaultInjector& chaos = **injector;
+
+  // Round 1: nothing armed.
+  chaos.BeginRound(1);
+  EXPECT_FALSE(chaos.PoisonThisPublish());
+  EXPECT_FALSE(chaos.ConsumeWalFault());
+  EXPECT_EQ(chaos.LoadMultiplier(), 1.0);
+  EXPECT_EQ(chaos.ShardSlowdown(0), 1.0);
+  EXPECT_EQ(chaos.ShardSlowdown(1), 1.0);
+
+  // Round 2: the two scripted WAL faults fire, then the budget is spent.
+  chaos.BeginRound(2);
+  EXPECT_TRUE(chaos.ConsumeWalFault());
+  EXPECT_TRUE(chaos.ConsumeWalFault());
+  EXPECT_FALSE(chaos.ConsumeWalFault());
+  EXPECT_FALSE(chaos.PoisonThisPublish());
+
+  // Rounds 3-4: two consecutive poisoned publishes, exactly.
+  chaos.BeginRound(3);
+  EXPECT_TRUE(chaos.PoisonThisPublish());
+  chaos.BeginRound(4);
+  EXPECT_TRUE(chaos.PoisonThisPublish());
+  EXPECT_FALSE(chaos.PoisonThisPublish());
+  // Round 4 also opens the storm window (rounds 4..5).
+  EXPECT_EQ(chaos.LoadMultiplier(), 8.0);
+
+  // Round 5: storm still active; shard 1 (and only shard 1) stalls.
+  chaos.BeginRound(5);
+  EXPECT_EQ(chaos.LoadMultiplier(), 8.0);
+  EXPECT_EQ(chaos.ShardSlowdown(0), 1.0);
+  EXPECT_EQ(chaos.ShardSlowdown(1), 16.0);
+
+  // Round 6: storm over (4..5); slowshard window (5..7) persists.
+  chaos.BeginRound(6);
+  EXPECT_EQ(chaos.LoadMultiplier(), 1.0);
+  EXPECT_EQ(chaos.ShardSlowdown(1), 16.0);
+
+  // Round 8: everything back to healthy; totals match the script.
+  chaos.BeginRound(8);
+  EXPECT_EQ(chaos.ShardSlowdown(1), 1.0);
+  EXPECT_EQ(chaos.poisons_fired(), 2);
+  EXPECT_EQ(chaos.wal_faults_fired(), 2);
+}
+
 // SetFaultPlan validates targets against the actual fleet.
 void TestPlanValidation() {
   Dataset ds = SmallDataset();
@@ -413,6 +568,9 @@ void RunAllTests() {
   TestAbortPolicy();
   TestAllWorkersDead();
   TestCheckpointFaultRetry();
+  TestServePlanParsing();
+  TestSplitAndSessionRejectsServeKinds();
+  TestServeFaultInjectorFiring();
   TestPlanValidation();
 }
 

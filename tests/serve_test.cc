@@ -466,6 +466,232 @@ void TestCreateValidatesConfigAndEmptyHolder() {
   if (after.ok()) EXPECT_EQ(after->snapshot_version, 9u);
 }
 
+// A corrupt publish must be rejected with a typed error while the
+// last-known-good snapshot keeps serving — the whole rollback policy is
+// that a bad candidate never replaces a good one.
+void TestPublishValidationRejectsPoison() {
+  SnapshotPtr good = UniformSnapshot(4, 32, 1.0f, 1);
+  EXPECT_TRUE(good->Validate().ok());
+  SnapshotPtr poisoned = FactorSnapshot::PoisonedCopy(*good);
+  EXPECT_TRUE(poisoned != nullptr);
+  EXPECT_FALSE(poisoned->Validate().ok());
+  EXPECT_TRUE(poisoned->Validate().code() ==
+              StatusCode::kFailedPrecondition);
+
+  // Holder level: the rejection installs nothing.
+  SnapshotHolder holder;
+  EXPECT_TRUE(holder.PublishValidated(good).ok());
+  EXPECT_TRUE(holder.PublishValidated(nullptr).code() ==
+              StatusCode::kInvalidArgument);
+  EXPECT_TRUE(holder.PublishValidated(poisoned).code() ==
+              StatusCode::kFailedPrecondition);
+  EXPECT_EQ(holder.rejected_publishes(), 2);
+  EXPECT_EQ(holder.publishes(), 1);
+  SnapshotPtr served = holder.Acquire();
+  EXPECT_TRUE(served == good);
+
+  // Server level: queries keep answering on the good snapshot, and the
+  // rejection is visible in the counters.
+  auto server = RecServer::Create(ServeConfig{}, good);
+  EXPECT_TRUE(server.ok());
+  if (!server.ok()) return;
+  EXPECT_TRUE((*server)->Publish(FactorSnapshot::PoisonedCopy(*good))
+                  .code() == StatusCode::kFailedPrecondition);
+  auto response = (*server)->Query({0, false, 4});
+  EXPECT_TRUE(response.ok());
+  if (response.ok()) {
+    EXPECT_EQ(response->snapshot_version, 1u);
+    for (const ScoredItem& item : response->items) {
+      EXPECT_EQ(item.score, 1.0f);
+    }
+  }
+  EXPECT_EQ((*server)->counters().publish_rejected, 1);
+  // A corrupt INITIAL snapshot fails construction outright — there is no
+  // last-known-good to fall back to yet.
+  EXPECT_FALSE(
+      RecServer::Create(ServeConfig{}, FactorSnapshot::PoisonedCopy(*good))
+          .ok());
+}
+
+// Pin accounting under publisher churn: a reader that holds a
+// SnapshotPtr across many publishes must keep scoring its original,
+// fully-intact snapshot (the slot it came from gets recycled two
+// publishes later), and once everything settles the pin counts must
+// return to zero.
+void TestPinAccountingUnderPublisherChurn() {
+  SnapshotHolder holder;
+  holder.Publish(UniformSnapshot(4, 64, 1.0f, 1));
+
+  // Hold version 1 across publishes 2..5 — far past the two-publish
+  // slot-recycling horizon.
+  SnapshotPtr held = holder.Acquire();
+  EXPECT_TRUE(held != nullptr);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> bad{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      std::vector<float> scratch;
+      while (!stop.load(std::memory_order_relaxed)) {
+        SnapshotPtr snap = holder.Acquire();
+        if (snap == nullptr ||
+            snap->UserRow(0)[0] != 1.0f) {  // p rows are (1, 0) always
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (uint64_t version = 2; version <= 5; ++version) {
+    holder.Publish(
+        UniformSnapshot(4, 64, static_cast<float>(version), version));
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& thread : readers) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  // The held snapshot survived four publishes bit-intact.
+  EXPECT_EQ(held->version(), 1u);
+  std::vector<float> scratch;
+  TopKQuery query{0, 8};
+  auto results = serve::BatchTopK(*held, &query, 1, nullptr, &scratch);
+  EXPECT_TRUE(results[0].ok());
+  if (results[0].ok()) {
+    for (const ScoredItem& item : *results[0]) {
+      EXPECT_EQ(item.score, 1.0f);
+    }
+  }
+
+  // Settled: no Acquire in flight, so every transient pin has drained.
+  EXPECT_EQ(holder.DebugPins(), 0);
+  held.reset();
+  EXPECT_EQ(holder.DebugPins(), 0);
+  SnapshotPtr current = holder.Acquire();
+  EXPECT_TRUE(current != nullptr);
+  if (current != nullptr) EXPECT_EQ(current->version(), 5u);
+  EXPECT_EQ(holder.DebugPins(), 0);
+}
+
+// Shutdown racing a submitter (run under TSan in CI): every future must
+// resolve — served before the drain, or typed Unavailable after — and
+// no promise may be abandoned or leak a crash. Before Drain existed,
+// Shutdown could destroy queued promises with waiters still blocked.
+void TestShutdownRacesInFlightSubmits() {
+  for (int iteration = 0; iteration < 5; ++iteration) {
+    SnapshotPtr snap = UniformSnapshot(8, 128, 1.0f, 1);
+    ServeConfig config;
+    config.shards = 2;
+    config.max_batch = 4;
+    auto server = RecServer::Create(config, snap);
+    EXPECT_TRUE(server.ok());
+    if (!server.ok()) return;
+
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> resolved{0}, unexpected{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&, t] {
+        std::vector<std::future<StatusOr<serve::TopKResponse>>> futures;
+        int i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          futures.push_back((*server)->Submit({(t + i++) % 8, false, 5}));
+          if (futures.size() >= 16) {
+            for (auto& future : futures) {
+              auto response = future.get();
+              if (!response.ok() && response.status().code() !=
+                                        StatusCode::kUnavailable) {
+                unexpected.fetch_add(1);
+              }
+              resolved.fetch_add(1);
+            }
+            futures.clear();
+          }
+        }
+        for (auto& future : futures) {
+          auto response = future.get();
+          if (!response.ok() &&
+              response.status().code() != StatusCode::kUnavailable) {
+            unexpected.fetch_add(1);
+          }
+          resolved.fetch_add(1);
+        }
+      });
+    }
+
+    // Let traffic build, then shut down mid-flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    (*server)->Shutdown();
+    stop.store(true);
+    for (auto& thread : submitters) thread.join();
+
+    EXPECT_LT(0, resolved.load());
+    EXPECT_EQ(unexpected.load(), 0);
+    // Post-shutdown submits still resolve, typed.
+    auto late = (*server)->Submit({0, false, 3}).get();
+    EXPECT_TRUE(late.status().code() == StatusCode::kUnavailable);
+    // Idempotent.
+    (*server)->Shutdown();
+  }
+}
+
+// Breaker lifecycle: a stalled shard under deadline pressure must OPEN
+// (fail fast), then HALF-OPEN after the cooldown, then CLOSE once its
+// probes hit the deadline again.
+void TestBreakerOpensAndRecovers() {
+  SnapshotPtr snap = UniformSnapshot(4, 64, 1.0f, 1);
+  ServeConfig config;
+  config.shards = 1;
+  config.max_batch = 8;
+  config.latency_budget_s = 0.002;
+  config.breaker_enabled = true;
+  config.breaker_window = 8;
+  config.breaker_miss_ratio = 0.5;
+  config.breaker_open_s = 0.02;
+  config.breaker_probes = 2;
+  auto server = RecServer::Create(config, snap);
+  EXPECT_TRUE(server.ok());
+  if (!server.ok()) return;
+
+  // Phase 1: stall every batch far past the budget; queued requests all
+  // miss, the window fills, the breaker opens and starts failing fast.
+  std::atomic<bool> degraded{true};
+  (*server)->SetBatchStallHook([&degraded](int) {
+    return degraded.load(std::memory_order_relaxed) ? 0.01 : 0.0;
+  });
+  int64_t breaker_rejected = 0;
+  for (int wave = 0; wave < 20 && breaker_rejected == 0; ++wave) {
+    std::vector<std::future<StatusOr<serve::TopKResponse>>> futures;
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back((*server)->Submit({i % 4, false, 5}));
+    }
+    for (auto& future : futures) future.get();
+    breaker_rejected = (*server)->counters().breaker_rejected;
+  }
+  auto mid = (*server)->counters();
+  EXPECT_LT(0, mid.breaker_opens);
+  EXPECT_LT(0, breaker_rejected);
+
+  // Phase 2: heal the shard, wait out the cooldown, and trickle probes.
+  // The first submit after the cooldown half-opens the breaker; once
+  // `breaker_probes` probes complete within budget it closes again.
+  degraded.store(false);
+  bool closed = false;
+  for (int attempt = 0; attempt < 50 && !closed; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto response = (*server)->Query({0, false, 5});
+    (void)response;
+    closed = (*server)->counters().breaker_closes > 0;
+  }
+  auto counters = (*server)->counters();
+  EXPECT_LT(0, counters.breaker_half_opens);
+  EXPECT_LT(0, counters.breaker_closes);
+  // Fully recovered: a healthy query is served.
+  auto after = (*server)->Query({1, false, 5});
+  EXPECT_TRUE(after.ok());
+  (*server)->Shutdown();
+}
+
 }  // namespace
 
 void RunAllTests() {
@@ -477,6 +703,10 @@ void RunAllTests() {
   TestColdUserIsTypedNotFatal();
   TestFromSessionGatedOnEpochBarrier();
   TestCreateValidatesConfigAndEmptyHolder();
+  TestPublishValidationRejectsPoison();
+  TestPinAccountingUnderPublisherChurn();
+  TestShutdownRacesInFlightSubmits();
+  TestBreakerOpensAndRecovers();
 }
 
 }  // namespace hsgd

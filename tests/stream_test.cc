@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "stream/stream.h"
+#include "stream/wal.h"
 #include "test_main.h"
 
 namespace hsgd {
@@ -341,7 +343,7 @@ void TestOnlineTrainerColdStartServing() {
   obs::MetricsRegistry metrics;
   auto trainer = OnlineTrainer::Create(
       *std::move(session), std::move(users), std::move(items),
-      [srv](serve::SnapshotPtr snap) { srv->Publish(std::move(snap)); },
+      [srv](serve::SnapshotPtr snap) { return srv->Publish(std::move(snap)); },
       &metrics);
   EXPECT_TRUE(trainer.ok());
   if (!trainer.ok()) return;
@@ -445,6 +447,196 @@ void TestOnlineTrainerCreateValidation() {
   }
 }
 
+/// Deterministic warm base for the WAL tests; regenerating with the same
+/// seed reproduces the exact Dataset, which is what Recover() requires.
+Dataset WarmDataset(int32_t rows, int32_t cols) {
+  SyntheticSpec spec;
+  spec.num_rows = rows;
+  spec.num_cols = cols;
+  spec.train_nnz = rows * cols / 10;
+  spec.test_nnz = rows * cols / 100;
+  spec.params.k = 8;
+  auto ds = GenerateSynthetic(spec, /*seed=*/33);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TrainConfig StreamConfig() {
+  TrainConfig cfg;
+  cfg.algorithm = Algorithm::kHsgdStar;
+  cfg.hardware.num_cpu_threads = 4;
+  cfg.hardware.num_gpus = 1;
+  cfg.max_epochs = 40;
+  cfg.use_dataset_target = false;
+  cfg.eval_threads = 2;
+  return cfg;
+}
+
+/// Deterministic mixed warm/cold batch for publish round `round` (raw
+/// ids a little past the warm range introduce cold entities).
+std::vector<RawRating> StreamBatch(int round, int32_t rows, int32_t cols) {
+  std::vector<RawRating> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back({(round * 7 + 5 * i) % (rows + 3),
+                     (round * 11 + 3 * i) % (cols + 2),
+                     1.0f + 0.5f * static_cast<float>((round + i) % 6)});
+  }
+  return batch;
+}
+
+// WAL-armed ingest is bit-transparent: the same warm base and streamed
+// rounds produce identical factors with and without the log, the log
+// holds exactly the acknowledged batches, and re-Creating over a
+// populated log is refused (that is Recover's job).
+void TestWalIngestParityAndCreateRefusal() {
+  const int32_t kRows = 80;
+  const int32_t kCols = 60;
+  const int kRounds = 4;
+  const std::string dir = "stream_test_wal_parity";
+  std::filesystem::remove_all(dir);
+
+  OnlineTrainer::WalIngestOptions wal;
+  wal.wal.dir = dir;
+
+  auto run_leg = [&](const OnlineTrainer::WalIngestOptions* log)
+      -> std::unique_ptr<OnlineTrainer> {
+    auto session =
+        Session::Create(WarmDataset(kRows, kCols), StreamConfig());
+    EXPECT_TRUE(session.ok());
+    if (!session.ok()) return nullptr;
+    EXPECT_TRUE((*session)->RunEpoch().ok());
+    auto trainer = OnlineTrainer::Create(
+        *std::move(session), DenseIdentityMap(kRows),
+        DenseIdentityMap(kCols), nullptr, nullptr, log);
+    EXPECT_TRUE(trainer.ok());
+    if (!trainer.ok()) return nullptr;
+    for (int round = 1; round <= kRounds; ++round) {
+      EXPECT_TRUE(
+          (*trainer)->Ingest(StreamBatch(round, kRows, kCols)).ok());
+      EXPECT_TRUE((*trainer)->TrainDirty().ok());
+    }
+    return *std::move(trainer);
+  };
+
+  std::unique_ptr<OnlineTrainer> plain = run_leg(nullptr);
+  std::unique_ptr<OnlineTrainer> logged = run_leg(&wal);
+  EXPECT_TRUE(plain != nullptr && logged != nullptr);
+  if (plain == nullptr || logged == nullptr) return;
+
+  EXPECT_TRUE(plain->session().model().DenseP() ==
+              logged->session().model().DenseP());
+  EXPECT_TRUE(plain->session().model().DenseQ() ==
+              logged->session().model().DenseQ());
+
+  // The log holds exactly the acknowledged rounds, in seq order.
+  EXPECT_EQ(logged->wal_applied_seq(), static_cast<uint64_t>(kRounds));
+  EXPECT_EQ(logged->wal_retries(), 0);
+  auto replay = stream::Wal::Replay(dir);
+  EXPECT_TRUE(replay.ok());
+  if (replay.ok()) {
+    EXPECT_EQ(replay->records.size(), static_cast<size_t>(kRounds));
+    EXPECT_EQ(replay->truncated_bytes, 0);
+    for (int round = 1; round <= kRounds; ++round) {
+      EXPECT_EQ(replay->records[round - 1].seq,
+                static_cast<uint64_t>(round));
+      ExpectSameRecords(replay->records[round - 1].batch,
+                        StreamBatch(round, kRows, kCols));
+    }
+  }
+
+  // A fresh Create over the populated log: silently appending after
+  // unreplayed records would desync checkpoint marks from the session.
+  logged.reset();
+  auto session = Session::Create(WarmDataset(kRows, kCols), StreamConfig());
+  EXPECT_TRUE(session.ok());
+  if (session.ok()) {
+    auto again = OnlineTrainer::Create(
+        *std::move(session), DenseIdentityMap(kRows),
+        DenseIdentityMap(kCols), nullptr, nullptr, &wal);
+    EXPECT_TRUE(again.status().code() == StatusCode::kFailedPrecondition);
+    EXPECT_TRUE(again.status().message().find("Recover") !=
+                std::string::npos);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// The crash-recovery contract end to end: a mid-stream checkpoint plus
+// the WAL tail reconstructs the crashed trainer's factors bit for bit,
+// and Checkpoint refuses to run while ingested ratings are untrained.
+void TestWalCheckpointRecoverBitIdentity() {
+  const int32_t kRows = 80;
+  const int32_t kCols = 60;
+  const std::string dir = "stream_test_wal_recover";
+  const std::string ckpt = "stream_test_recover.ckpt";
+  std::filesystem::remove_all(dir);
+  std::remove(ckpt.c_str());
+
+  OnlineTrainer::WalIngestOptions wal;
+  wal.wal.dir = dir;
+
+  auto session = Session::Create(WarmDataset(kRows, kCols), StreamConfig());
+  EXPECT_TRUE(session.ok());
+  if (!session.ok()) return;
+  EXPECT_TRUE((*session)->RunEpoch().ok());
+  auto created = OnlineTrainer::Create(
+      *std::move(session), DenseIdentityMap(kRows), DenseIdentityMap(kCols),
+      nullptr, nullptr, &wal);
+  EXPECT_TRUE(created.ok());
+  if (!created.ok()) return;
+  OnlineTrainer* ot = created->get();
+
+  // Rounds 1-3 are covered by the checkpoint...
+  for (int round = 1; round <= 3; ++round) {
+    EXPECT_TRUE(ot->Ingest(StreamBatch(round, kRows, kCols)).ok());
+    if (round == 3) {
+      // ...which must wait until the dirty ratings are trained:
+      // recovery relies on ingest-quiescent save points.
+      EXPECT_TRUE(ot->Checkpoint(ckpt).code() ==
+                  StatusCode::kFailedPrecondition);
+    }
+    EXPECT_TRUE(ot->TrainDirty().ok());
+  }
+  EXPECT_TRUE(ot->Checkpoint(ckpt).ok());
+
+  // ...rounds 4-5 exist only in the log when the "crash" hits.
+  for (int round = 4; round <= 5; ++round) {
+    EXPECT_TRUE(ot->Ingest(StreamBatch(round, kRows, kCols)).ok());
+    EXPECT_TRUE(ot->TrainDirty().ok());
+  }
+  const std::vector<float> p = ot->session().model().DenseP();
+  const std::vector<float> q = ot->session().model().DenseQ();
+  created->reset();  // the crash: only the checkpoint and log survive
+
+  auto recovered = OnlineTrainer::Recover(
+      WarmDataset(kRows, kCols), DenseIdentityMap(kRows),
+      DenseIdentityMap(kCols), ckpt, wal, nullptr);
+  EXPECT_TRUE(recovered.ok());
+  if (!recovered.ok()) return;
+  EXPECT_EQ(recovered->checkpoint_seq, 3u);
+  EXPECT_EQ(recovered->replayed_batches, 3);
+  EXPECT_EQ(recovered->truncated_bytes, 0);
+  EXPECT_EQ(recovered->unapplied.size(), 2u);
+  OnlineTrainer* back = recovered->trainer.get();
+  EXPECT_TRUE(back != nullptr);
+  if (back == nullptr) return;
+
+  // Re-drive the tail with the original ingest/train cadence.
+  for (const stream::WalRecord& record : recovered->unapplied) {
+    EXPECT_TRUE(back->ReplayIngest(record).ok());
+    EXPECT_TRUE(back->TrainDirty().ok());
+  }
+  EXPECT_TRUE(back->session().model().DenseP() == p);
+  EXPECT_TRUE(back->session().model().DenseQ() == q);
+  EXPECT_EQ(back->wal_applied_seq(), 5u);
+
+  // The revived log keeps appending where the crash left off.
+  EXPECT_TRUE(back->Ingest(StreamBatch(6, kRows, kCols)).ok());
+  EXPECT_EQ(back->wal_applied_seq(), 6u);
+
+  std::filesystem::remove_all(dir);
+  std::remove(ckpt.c_str());
+}
+
 }  // namespace
 
 void RunAllTests() {
@@ -454,6 +646,8 @@ void RunAllTests() {
   TestSyntheticStreamDeterministic();
   TestOnlineTrainerColdStartServing();
   TestOnlineTrainerCreateValidation();
+  TestWalIngestParityAndCreateRefusal();
+  TestWalCheckpointRecoverBitIdentity();
 }
 
 }  // namespace hsgd

@@ -4,6 +4,7 @@
 
 #include "test_main.h"
 #include "util/cli.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -162,6 +163,71 @@ void TestStopwatch() {
   EXPECT_TRUE(sw.Seconds() >= 0.0);
 }
 
+// The deadline-aware retry must stop at the wall-clock boundary even
+// when attempts remain, grant exactly one attempt on a spent budget,
+// and still use the full attempt budget when the deadline is far away.
+void TestRetryWithBackoffUntilDeadline() {
+  RetryOptions options;
+  options.max_attempts = 50;
+  options.initial_backoff = 0.02;
+  options.multiplier = 1.0;  // flat 20ms sleeps: predictable attempt math
+  options.jitter = 0.0;
+  Rng rng(1, 23);
+
+  // A 50ms budget fits the first attempt plus roughly two 20ms sleeps:
+  // far fewer than 50 attempts, and the final attempt fires AT the
+  // boundary (the clamped last sleep ends on the deadline) rather than
+  // being skipped.
+  int calls = 0;
+  int retries = 0;
+  Stopwatch wall;
+  Status exhausted = RetryWithBackoffUntil(
+      options, &rng, 0.05,
+      [&calls]() -> Status {
+        ++calls;
+        return Status::Internal("still failing");
+      },
+      [&retries](int, const Status&) { ++retries; });
+  const double took = wall.Seconds();
+  EXPECT_FALSE(exhausted.ok());
+  EXPECT_TRUE(exhausted.code() == StatusCode::kInternal);
+  EXPECT_TRUE(calls >= 2);              // the deadline bounded waiting...
+  EXPECT_LT(calls, options.max_attempts);  // ...not the attempt budget
+  EXPECT_EQ(retries, calls - 1);
+  EXPECT_TRUE(took < 0.5);  // nowhere near 49 full sleeps
+
+  // Spent budget: exactly one attempt, no sleeping.
+  calls = 0;
+  Status one_shot = RetryWithBackoffUntil(
+      options, &rng, 0.0, [&calls]() -> Status {
+        ++calls;
+        return Status::Internal("no time to retry");
+      });
+  EXPECT_FALSE(one_shot.ok());
+  EXPECT_EQ(calls, 1);
+
+  // Generous budget: failures burn the whole attempt budget, and a
+  // success stops the loop immediately.
+  options.max_attempts = 3;
+  options.initial_backoff = 0.001;
+  calls = 0;
+  Status all_attempts = RetryWithBackoffUntil(
+      options, &rng, 10.0, [&calls]() -> Status {
+        ++calls;
+        return Status::Internal("permanent");
+      });
+  EXPECT_FALSE(all_attempts.ok());
+  EXPECT_EQ(calls, 3);
+  calls = 0;
+  Status recovered = RetryWithBackoffUntil(
+      options, &rng, 10.0, [&calls]() -> Status {
+        ++calls;
+        return calls < 2 ? Status::Internal("transient") : Status::Ok();
+      });
+  EXPECT_TRUE(recovered.ok());
+  EXPECT_EQ(calls, 2);
+}
+
 }  // namespace
 
 void RunAllTests() {
@@ -172,6 +238,7 @@ void RunAllTests() {
   TestRng();
   TestThreadPool();
   TestStopwatch();
+  TestRetryWithBackoffUntilDeadline();
 }
 
 }  // namespace hsgd
